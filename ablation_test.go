@@ -1,0 +1,217 @@
+package repro
+
+// Ablation benchmarks for the design choices the paper argues for:
+// register communication for the intra-CG reduce (Section II.A claims
+// a 3x-4x speedup over DMA/MPI for the AllReduce bottleneck), compact
+// CG-group placement inside a supernode (Section III.C), centroid
+// residency versus DRAM tiling at Level 3, assignment batch sizing,
+// and the ring-versus-binomial allreduce selection in the Update step.
+// Each benchmark reports the simulated times of both arms so the trade
+// is visible in the bench output, and the companion tests assert the
+// direction of each trade.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/regcomm"
+)
+
+// updateVolume is a representative Update-step reduce volume
+// (k=2,000 x (d=4,096+1) elements).
+const updateVolume = 2000 * 4097
+
+func TestAblationRegCommVsNetwork(t *testing.T) {
+	// The paper's claim: register communication gives the AllReduce
+	// bottleneck a 3x-4x speedup over other communication techniques.
+	// Compare the mesh allreduce against moving the same volume over
+	// the node-external network at the same collective depth.
+	spec := machine.MustSpec(1)
+	mesh := regcomm.NewModel(spec)
+	regT := mesh.AllReduceTime(updateVolume / 64) // per-CPE share
+	net := netmodel.MustNew(machine.MustSpec(256))
+	perHop := net.Latency(machine.SameSupernode) +
+		float64(updateVolume/64*4)/net.Bandwidth(machine.SameSupernode)
+	netT := 6 * perHop * 64 // same 6-step depth, 64 participants sharing the NIC
+	ratio := netT / regT
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("register-communication speedup = %.2fx, paper claims 3x-4x (band [2,8])", ratio)
+	}
+}
+
+func TestAblationCompactPlacement(t *testing.T) {
+	// Section III.C: a CG group should stay within one supernode. The
+	// same min-reduce is cheaper at intra-supernode bandwidth than
+	// across the central router.
+	net := netmodel.MustNew(machine.MustSpec(512))
+	bytes := 2 * 256 * 4 // one assignment batch of (dist, index) pairs
+	intra := net.Latency(machine.SameSupernode) + float64(bytes)/net.Bandwidth(machine.SameSupernode)
+	cross := net.Latency(machine.CrossSupernode) + float64(bytes)/net.Bandwidth(machine.CrossSupernode)
+	if cross <= intra {
+		t.Errorf("cross-supernode hop (%g) not slower than intra (%g)", cross, intra)
+	}
+}
+
+func TestAblationResidentVsTiledLevel3(t *testing.T) {
+	// Centroid-stripe residency (bigger CG groups) versus DRAM tiling
+	// (smaller groups, re-streaming): at the same group size, tiling
+	// must cost more, and the planner must prefer residency when it
+	// fits.
+	spec := machine.MustSpec(128)
+	resident := costmodel.Level3(spec, 10000, 2000, 4096, 16, 256, false)
+	tiled := costmodel.Level3(spec, 10000, 2000, 4096, 16, 256, true)
+	if tiled.Seconds() <= resident.Seconds() {
+		t.Errorf("tiled (%g) not slower than resident (%g)", tiled.Seconds(), resident.Seconds())
+	}
+	plan, err := core.PlanFor(core.Config{Spec: spec, Level: core.Level3, K: 2000}, 1265723, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Tiled {
+		t.Error("planner tiled although a resident group fits on 128 nodes")
+	}
+}
+
+func TestAblationBatchSize(t *testing.T) {
+	// Larger assignment batches amortize collective latency in the
+	// Level-3 assign step (until payloads dominate).
+	g, err := dataset.ImgNet(512, 2048) // n=617
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := machine.MustSpec(1)
+	timeAt := func(batch int) float64 {
+		res, err := core.Run(core.Config{
+			Spec: spec, Level: core.Level3, K: 32, MPrimeGroup: 2,
+			MaxIters: 1, Seed: 1, BatchSamples: batch,
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanIterTime()
+	}
+	tiny := timeAt(4)
+	big := timeAt(256)
+	if big >= tiny {
+		t.Errorf("batch=256 (%g s) not faster than batch=4 (%g s)", big, tiny)
+	}
+}
+
+func TestAblationAutoLevelNearBest(t *testing.T) {
+	// LevelAuto must land within 25%% of the best fixed level's
+	// simulated iteration time across contrasting shapes.
+	shapes := []struct {
+		name string
+		d    int
+		k    int
+	}{
+		{"low-dim", 16, 16},
+		{"high-dim", 2048, 32},
+	}
+	spec := machine.MustSpec(1)
+	for _, sh := range shapes {
+		g, err := GaussianMixture(sh.name, 1024, sh.d, 8, 0.2, 2.0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for _, lv := range []core.Level{core.Level1, core.Level2, core.Level3} {
+			res, err := core.Run(core.Config{Spec: spec, Level: lv, K: sh.k, MaxIters: 1, Seed: 1}, g)
+			if err != nil {
+				continue
+			}
+			if best == 0 || res.MeanIterTime() < best {
+				best = res.MeanIterTime()
+			}
+		}
+		auto, err := core.Run(core.Config{Spec: spec, Level: core.LevelAuto, K: sh.k, MaxIters: 1, Seed: 1}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.MeanIterTime() > best*1.25 {
+			t.Errorf("%s: auto %g s vs best fixed %g s", sh.name, auto.MeanIterTime(), best)
+		}
+	}
+}
+
+func BenchmarkAblationRingVsBinomial(b *testing.B) {
+	// The Update-step allreduce at k·d volume over 16 CGs, both
+	// algorithms, simulated seconds reported side by side.
+	run := func(ring bool) float64 {
+		w := mpi.MustWorld(machine.MustSpec(4), nil, 16)
+		if err := w.Run(func(c *mpi.Comm) error {
+			buf := make([]float64, updateVolume/8)
+			if ring {
+				return c.AllReduceSumRing(buf, nil)
+			}
+			return c.AllReduceSum(buf, nil)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	var ringT, binT float64
+	for i := 0; i < b.N; i++ {
+		ringT = run(true)
+		binT = run(false)
+	}
+	b.ReportMetric(ringT, "sim-s-ring")
+	b.ReportMetric(binT, "sim-s-binomial")
+}
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	g, err := dataset.ImgNet(512, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := machine.MustSpec(1)
+	for _, batch := range []int{4, 64, 1024} {
+		var sim float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(core.Config{
+				Spec: spec, Level: core.Level3, K: 32, MPrimeGroup: 2,
+				MaxIters: 1, Seed: 1, BatchSamples: batch,
+			}, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.MeanIterTime()
+		}
+		b.ReportMetric(sim, "sim-s-batch"+itoa(batch))
+	}
+}
+
+func BenchmarkAblationLevelChoice(b *testing.B) {
+	// The flexibility table of Section III.D as a benchmark: simulated
+	// iteration time of each level on a low-dim and a high-dim shape.
+	spec := machine.MustSpec(1)
+	for _, sh := range []struct {
+		name string
+		d    int
+	}{{"d16", 16}, {"d2048", 2048}} {
+		g, err := GaussianMixture(sh.name, 1024, sh.d, 8, 0.2, 2.0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lv := range []core.Level{core.Level1, core.Level2, core.Level3} {
+			var sim float64
+			ok := true
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{Spec: spec, Level: lv, K: 16, MaxIters: 1, Seed: 1}, g)
+				if err != nil {
+					ok = false
+					break
+				}
+				sim = res.MeanIterTime()
+			}
+			if ok {
+				b.ReportMetric(sim, "sim-s-"+sh.name+"-L"+itoa(int(lv)))
+			}
+		}
+	}
+}

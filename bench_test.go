@@ -1,0 +1,319 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section IV). Each benchmark regenerates its exhibit: paper-scale
+// series come from the calibrated analytic model, and the figures
+// whose shape can be executed functionally also drive the machine
+// simulator at reduced scale. Simulated one-iteration completion
+// times — the paper's metric — are reported through b.ReportMetric as
+// "sim-s/iter" (host ns/op measures the harness itself, not the
+// machine under study).
+//
+// The same exhibits are available interactively:
+//
+//	go run ./cmd/benchfig -all -functional
+//	go run ./cmd/landcover
+//	go run ./cmd/capability
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/quality"
+)
+
+// reportSeries feeds one model point's seconds into the benchmark
+// metrics, keyed by series and x.
+func reportSeries(b *testing.B, series []perfmodel.Series) {
+	b.Helper()
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Infeasible {
+				continue
+			}
+			// Only surface the endpoints to keep metric output compact.
+			if p.X == s.Points[0].X || p.X == s.Points[len(s.Points)-1].X {
+				b.ReportMetric(p.Seconds, "sim-s@"+sanitize(s.Name)+"/"+itoa(p.X))
+			}
+		}
+	}
+}
+
+// sanitize turns a series name into a legal metric unit (benchmark
+// metric units must not contain whitespace).
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == ',' {
+			c = '-'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkTable1Capability regenerates Table I: the capability rows
+// and our constraint-derived limits on the full TaihuLight.
+func BenchmarkTable1Capability(b *testing.B) {
+	spec := machine.MustSpec(40960)
+	var rows []perfmodel.CapabilityRow
+	for i := 0; i < b.N; i++ {
+		rows = perfmodel.TableI(spec)
+	}
+	ours := rows[len(rows)-1]
+	b.ReportMetric(float64(ours.K), "max-k")
+	b.ReportMetric(float64(ours.D), "max-d")
+}
+
+// BenchmarkTable2Datasets regenerates Table II by instantiating every
+// benchmark generator at its published shape and drawing samples.
+func BenchmarkTable2Datasets(b *testing.B) {
+	kegg, err := dataset.Kegg(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	road, err := dataset.Road(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	census, err := dataset.Census(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgnet, err := dataset.ImgNet(196608, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := []dataset.Source{kegg, road, census, imgnet}
+	buf := make([]float64, 196608)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sources {
+			s.Sample(i%s.N(), buf[:s.D()])
+		}
+	}
+	b.ReportMetric(float64(imgnet.N()), "imgnet-n")
+	b.ReportMetric(float64(imgnet.D()), "imgnet-d")
+}
+
+// BenchmarkFig3Level1 regenerates Figure 3 (Level-1 k sweep on the
+// UCI shapes, model) and functionally runs the Kegg shape at reduced n
+// on the simulated machine.
+func BenchmarkFig3Level1(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure3()
+	}
+	reportSeries(b, series)
+
+	src, err := dataset.Kegg(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Spec: machine.MustSpec(1), Level: core.Level1, K: 64, MaxIters: 2, Seed: 1,
+	}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MeanIterTime(), "sim-s/iter-functional")
+}
+
+// BenchmarkFig4Level2 regenerates Figure 4 (Level-2 large-k sweep,
+// model) with a functional Level-2 run.
+func BenchmarkFig4Level2(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure4()
+	}
+	reportSeries(b, series)
+
+	src, err := dataset.Kegg(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Spec: machine.MustSpec(1), Level: core.Level2, K: 1024, MaxIters: 1, Seed: 1, SampleStride: 4,
+	}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MeanIterTime(), "sim-s/iter-functional")
+}
+
+// BenchmarkFig5Level3 regenerates Figure 5 (Level-3 k-by-d grid on the
+// ImageNet shape, model) with a functional Level-3 run at d=3,072.
+func BenchmarkFig5Level3(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure5()
+	}
+	reportSeries(b, series)
+
+	src, err := dataset.ImgNet(3072, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Spec: machine.MustSpec(2), Level: core.Level3, K: 128, MaxIters: 1, Seed: 1, SampleStride: 8,
+	}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MeanIterTime(), "sim-s/iter-functional")
+}
+
+// BenchmarkFig6LargeScale regenerates Figure 6: centroid scaling at
+// d=3,072 and node scaling at the headline shape (d=196,608, k=2,000;
+// the paper reports < 18 s/iteration at 4,096 nodes).
+func BenchmarkFig6LargeScale(b *testing.B) {
+	var kSeries, nodeSeries perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		kSeries = perfmodel.Figure6Centroids()
+		nodeSeries = perfmodel.Figure6Nodes()
+	}
+	reportSeries(b, []perfmodel.Series{kSeries})
+	last := nodeSeries.Points[len(nodeSeries.Points)-1]
+	if last.Infeasible {
+		b.Fatal("headline point infeasible")
+	}
+	b.ReportMetric(last.Seconds, "sim-s/iter-headline-4096-nodes")
+}
+
+// BenchmarkFig7VaryD regenerates Figure 7 (L2 vs L3 over d, model) and
+// functionally reproduces the who-wins flip at reduced scale.
+func BenchmarkFig7VaryD(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure7()
+	}
+	reportSeries(b, series)
+
+	for _, d := range []int{256, 4096} {
+		src, err := dataset.ImgNet(d, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lv := range []core.Level{core.Level2, core.Level3} {
+			res, err := core.Run(core.Config{
+				Spec: machine.MustSpec(2), Level: lv, K: 200, MaxIters: 1, Seed: 1, SampleStride: 8,
+			}, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MeanIterTime(), "sim-s-functional-L"+itoa(int(lv))+"-d"+itoa(d))
+		}
+	}
+}
+
+// BenchmarkFig8VaryK regenerates Figure 8 (L2 vs L3 over k at
+// d=4,096, model) with a functional cross-check.
+func BenchmarkFig8VaryK(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure8()
+	}
+	reportSeries(b, series)
+
+	src, err := dataset.ImgNet(4096, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lv := range []core.Level{core.Level2, core.Level3} {
+		res, err := core.Run(core.Config{
+			Spec: machine.MustSpec(2), Level: lv, K: 256, MaxIters: 1, Seed: 1, SampleStride: 8,
+		}, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanIterTime(), "sim-s-functional-L"+itoa(int(lv)))
+	}
+}
+
+// BenchmarkFig9VaryNodes regenerates Figure 9 (L2 vs L3 over node
+// count, model) with a functional strong-scaling cross-check.
+func BenchmarkFig9VaryNodes(b *testing.B) {
+	var series []perfmodel.Series
+	for i := 0; i < b.N; i++ {
+		series = perfmodel.Figure9()
+	}
+	reportSeries(b, series)
+
+	src, err := dataset.ImgNet(1024, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nodes := range []int{1, 4} {
+		res, err := core.Run(core.Config{
+			Spec: machine.MustSpec(nodes), Level: core.Level3, K: 128, MaxIters: 1, Seed: 1, SampleStride: 8,
+		}, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanIterTime(), "sim-s-functional-nodes"+itoa(nodes))
+	}
+}
+
+// BenchmarkTable3Architectures regenerates Table III: modelled Sunway
+// per-iteration times and speedups over the five published comparator
+// systems.
+func BenchmarkTable3Architectures(b *testing.B) {
+	var rows []perfmodel.ArchRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = perfmodel.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ModelSpeedup, "speedup-vs-"+sanitize(r.Hardware[:8]))
+	}
+}
+
+// BenchmarkFig10LandCover regenerates Figure 10's pipeline: Level-3
+// clustering of a synthetic DeepGlobe-like image into seven land-cover
+// classes, reporting the simulated iteration time and accuracy.
+func BenchmarkFig10LandCover(b *testing.B) {
+	lc, err := dataset.NewLandCover(48, 48, 24, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := machine.MustSpec(2)
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(core.Config{
+			Spec: spec, Level: core.Level3, K: lc.Classes(), MaxIters: 4,
+			Seed: 2018, Init: core.InitKMeansPlusPlus,
+		}, lc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	acc, err := quality.Accuracy(res.Assign, lc.TrueClassMap())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MeanIterTime(), "sim-s/iter")
+	b.ReportMetric(acc, "accuracy")
+}

@@ -1,0 +1,173 @@
+// Command ablate quantifies the design choices behind the paper's
+// system, one table per trade:
+//
+//   - register communication vs the network for the Update-step reduce
+//     (Section II.A claims a 3x-4x speedup);
+//   - compact vs scattered CG-group placement (Section III.C);
+//   - resident vs DRAM-tiled centroid stripes at Level 3;
+//   - assignment batch sizing in the Level-3 assign step;
+//   - binomial vs ring allreduce for the Update volume;
+//   - fat-tree uplink contention under concurrent per-slice reduces.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/fattree"
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/regcomm"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	for _, section := range []func() (*report.Table, error){
+		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention,
+	} {
+		t, err := section()
+		if err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regVsNet compares the register-communication mesh against the
+// network for the Update-step reduce volume at several k*d sizes.
+func regVsNet() (*report.Table, error) {
+	spec := machine.MustSpec(256)
+	mesh := regcomm.NewModel(spec)
+	net := netmodel.MustNew(spec)
+	t := report.NewTable("Register communication vs network for the Update reduce (per CG volume)",
+		"k*d elements", "regcomm (s)", "network (s)", "speedup")
+	for _, elems := range []int{1 << 14, 1 << 18, 1 << 22} {
+		regT := mesh.AllReduceTime(elems / 64)
+		hop := net.Latency(machine.SameSupernode) +
+			float64(elems/64*ldm.ElemBytes)/net.Bandwidth(machine.SameSupernode)
+		netT := 6 * hop * 64
+		t.AddStringRow(fmt.Sprintf("%d", elems),
+			fmt.Sprintf("%.6f", regT), fmt.Sprintf("%.6f", netT),
+			fmt.Sprintf("%.1fx", netT/regT))
+	}
+	return t, nil
+}
+
+// placement compares the min-reduce hop cost for a compact CG group
+// against one scattered across supernodes.
+func placement() (*report.Table, error) {
+	net := netmodel.MustNew(machine.MustSpec(512))
+	t := report.NewTable("CG-group placement: compact (intra-supernode) vs scattered (cross-router)",
+		"batch bytes", "compact hop (s)", "scattered hop (s)", "penalty")
+	for _, bytes := range []int{2 * 256 * 4, 2 * 4096 * 4} {
+		intra := net.Latency(machine.SameSupernode) + float64(bytes)/net.Bandwidth(machine.SameSupernode)
+		cross := net.Latency(machine.CrossSupernode) + float64(bytes)/net.Bandwidth(machine.CrossSupernode)
+		t.AddStringRow(fmt.Sprintf("%d", bytes),
+			fmt.Sprintf("%.2e", intra), fmt.Sprintf("%.2e", cross),
+			fmt.Sprintf("%.2fx", cross/intra))
+	}
+	return t, nil
+}
+
+// residentVsTiled compares the Level-3 local iteration cost with
+// resident centroid stripes against DRAM tiling.
+func residentVsTiled() (*report.Table, error) {
+	spec := machine.MustSpec(128)
+	t := report.NewTable("Level 3: resident centroid stripes vs DRAM tiling (k=2000, 10k samples/group)",
+		"d", "m'group", "resident (s)", "tiled (s)", "penalty")
+	for _, d := range []int{2048, 4096, 8192} {
+		resident := costmodel.Level3(spec, 10000, 2000, d, 16, 256, false)
+		tiled := costmodel.Level3(spec, 10000, 2000, d, 16, 256, true)
+		t.AddStringRow(fmt.Sprintf("%d", d), "16",
+			fmt.Sprintf("%.4f", resident.Seconds()),
+			fmt.Sprintf("%.4f", tiled.Seconds()),
+			fmt.Sprintf("%.2fx", tiled.Seconds()/resident.Seconds()))
+	}
+	return t, nil
+}
+
+// batchSweep runs the functional Level-3 engine at several assignment
+// batch sizes.
+func batchSweep() (*report.Table, error) {
+	g, err := dataset.ImgNet(512, 2048)
+	if err != nil {
+		return nil, err
+	}
+	spec := machine.MustSpec(1)
+	t := report.NewTable("Level-3 assignment batch size (functional, n=617, d=512, k=32)",
+		"batch", "sim s/iter")
+	for _, batch := range []int{1, 4, 16, 64, 256, 1024} {
+		res, err := core.Run(core.Config{
+			Spec: spec, Level: core.Level3, K: 32, MPrimeGroup: 2,
+			MaxIters: 1, Seed: 1, BatchSamples: batch,
+		}, g)
+		if err != nil {
+			return nil, err
+		}
+		t.AddStringRow(fmt.Sprintf("%d", batch), fmt.Sprintf("%.6f", res.MeanIterTime()))
+	}
+	return t, nil
+}
+
+// ringVsBinomial measures both allreduce algorithms functionally at
+// Update-step volumes.
+func ringVsBinomial() (*report.Table, error) {
+	t := report.NewTable("Allreduce algorithm at Update volume over 16 CGs (functional)",
+		"elements", "binomial (sim s)", "ring (sim s)", "ring speedup")
+	for _, elems := range []int{1 << 12, 1 << 17, 1 << 20} {
+		times := make(map[bool]float64)
+		for _, ring := range []bool{false, true} {
+			w := mpi.MustWorld(machine.MustSpec(4), nil, 16)
+			err := w.Run(func(c *mpi.Comm) error {
+				buf := make([]float64, elems)
+				if ring {
+					return c.AllReduceSumRing(buf, nil)
+				}
+				return c.AllReduceSum(buf, nil)
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[ring] = w.MaxTime()
+		}
+		t.AddStringRow(fmt.Sprintf("%d", elems),
+			fmt.Sprintf("%.6f", times[false]), fmt.Sprintf("%.6f", times[true]),
+			fmt.Sprintf("%.2fx", times[false]/times[true]))
+	}
+	return t, nil
+}
+
+// contention evaluates the fat-tree uplink model under the Level-3
+// Update pattern (many concurrent per-slice allreduces).
+func contention() (*report.Table, error) {
+	m := fattree.MustNew(machine.MustSpec(2048))
+	t := report.NewTable("Fat-tree uplink contention: concurrent per-slice allreduces over 8 supernodes",
+		"concurrent collectives", "contention factor")
+	for _, conc := range []int{1, 64, 512, 1024} {
+		f, err := m.ContentionFactor(0, 8192, 1<<20, conc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddStringRow(fmt.Sprintf("%d", conc), fmt.Sprintf("%.2fx", f))
+	}
+	return t, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllSections(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Register communication vs network",
+		"CG-group placement",
+		"resident centroid stripes vs DRAM tiling",
+		"assignment batch size",
+		"Allreduce algorithm",
+		"Fat-tree uplink contention",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+	// The register-communication speedup lands in the paper's band at
+	// the large Update volume (the last regcomm row).
+	if !strings.Contains(out, "x") {
+		t.Error("no speedup columns rendered")
+	}
+}

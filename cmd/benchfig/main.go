@@ -1,0 +1,201 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation section. Paper-scale series come from the calibrated
+// analytic model (internal/perfmodel); pass -functional to additionally
+// run the functional machine simulator at a reduced scale that the host
+// can execute, cross-checking the model's shape (who wins, how curves
+// grow). Each printed block states which mode produced it.
+//
+//	benchfig -fig 7             # Figure 7 model series
+//	benchfig -fig 7 -functional # plus reduced-scale functional run
+//	benchfig -table 3           # Table III
+//	benchfig -all               # everything
+//	benchfig -fig 8 -csv        # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to regenerate (3-9; 10 is produced by cmd/landcover)")
+		table      = flag.Int("table", 0, "table to regenerate (1-3)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		functional = flag.Bool("functional", false, "also run the reduced-scale functional cross-check")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot       = flag.Bool("plot", false, "render ASCII charts of the model series after each figure")
+		sweepArg   = flag.String("sweep", "", `custom sweep, e.g. "level=0;nodes=128;n=1265723;k=2000;d=512..8192:512"`)
+	)
+	flag.Parse()
+	out := os.Stdout
+	if *sweepArg != "" {
+		c := &ctx{out: out, plot: *plot && !*csv}
+		c.emit = emitter(out, *csv)
+		if err := customSweep(c, *sweepArg); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(out, *fig, *table, *all, *functional, *csv, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+// ctx carries the output sink and mode flags through the per-exhibit
+// generators.
+type ctx struct {
+	out        io.Writer
+	emit       func(*report.Table) error
+	functional bool
+	plot       bool
+}
+
+// plotSeries renders an ASCII chart of model series (log-y: the
+// figures span orders of magnitude) when -plot is active.
+func (c *ctx) plotSeries(title string, series []perfmodel.Series) error {
+	if !c.plot || len(series) == 0 {
+		return nil
+	}
+	var labels []string
+	for _, p := range series[0].Points {
+		labels = append(labels, fmt.Sprintf("%d", p.X))
+	}
+	ch := report.NewChart(title, labels, 14).LogY()
+	for _, s := range series {
+		ys := make([]float64, 0, len(labels))
+		for _, p := range s.Points {
+			if p.Infeasible {
+				ys = append(ys, math.NaN())
+			} else {
+				ys = append(ys, p.Seconds)
+			}
+		}
+		// Series on different x grids (Figures 3/4) are plotted only
+		// when they align with the first series' grid.
+		if len(ys) != len(labels) {
+			continue
+		}
+		if err := ch.Add(report.ChartSeries{Name: s.Name, Y: ys}); err != nil {
+			return err
+		}
+	}
+	if err := ch.Render(c.out); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(c.out)
+	return err
+}
+
+// emitter builds the table sink for the chosen output mode.
+func emitter(out io.Writer, csv bool) func(*report.Table) error {
+	return func(t *report.Table) error {
+		if csv {
+			return t.CSV(out)
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(out)
+		return err
+	}
+}
+
+func run(out io.Writer, fig, table int, all, functional, csv, plot bool) error {
+	c := &ctx{out: out, functional: functional, plot: plot && !csv}
+	c.emit = emitter(out, csv)
+	type job struct {
+		enabled bool
+		fn      func(*ctx) error
+	}
+	jobs := []job{
+		{all || table == 1, tableOne},
+		{all || table == 2, tableTwo},
+		{all || fig == 3, figureThree},
+		{all || fig == 4, figureFour},
+		{all || fig == 5, figureFive},
+		{all || fig == 6, figureSix},
+		{all || fig == 7, figureSeven},
+		{all || fig == 8, figureEight},
+		{all || fig == 9, figureNine},
+		{all || table == 3, tableThree},
+	}
+	ran := false
+	for _, j := range jobs {
+		if !j.enabled {
+			continue
+		}
+		ran = true
+		if err := j.fn(c); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		if fig == 10 {
+			fmt.Fprintln(out, "Figure 10 (land-cover classification) is produced by: go run ./cmd/landcover")
+			return nil
+		}
+		flag.Usage()
+		return fmt.Errorf("nothing selected: use -fig, -table or -all")
+	}
+	return nil
+}
+
+// seriesTable renders model series as one table: x column, one value
+// column per series.
+func seriesTable(title, xLabel string, series []perfmodel.Series) *report.Table {
+	headers := []string{xLabel}
+	for _, s := range series {
+		headers = append(headers, s.Name+" (s)")
+	}
+	t := report.NewTable(title, headers...)
+	if len(series) == 0 {
+		return t
+	}
+	// Series may have different x grids (Figures 3/4); union them.
+	seen := map[int]bool{}
+	var xs []int
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortInts(xs)
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.Infeasible {
+						cell = "cannot run"
+					} else {
+						cell = fmt.Sprintf("%.4f", p.Seconds)
+					}
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddStringRow(row...)
+	}
+	return t
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectsNothing(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 0, false, false, false, false); err == nil {
+		t.Error("no selection accepted")
+	}
+}
+
+func TestRunFigure10Hint(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 10, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cmd/landcover") {
+		t.Errorf("figure 10 hint missing: %q", b.String())
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 1, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "Bender, et al [2]", "Our approach"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigureSeven(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 7, 0, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 7", "Level 2", "Level 3", "cannot run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 7 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigureSevenFunctional(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 7, 0, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "functional cross-check") {
+		t.Error("functional section missing")
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 2, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Kegg Network,65554") {
+		t.Errorf("CSV output unexpected: %q", out)
+	}
+	if strings.Contains(out, "---") {
+		t.Error("CSV output contains table rule")
+	}
+}
+
+func TestRunAllTablesAndModelFigures(t *testing.T) {
+	// -all without -functional exercises every model exhibit quickly.
+	var b strings.Builder
+	if err := run(&b, 0, 0, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6a", "Figure 6b", "Figure 7", "Figure 8", "Figure 9",
+		"Table III",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-all output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllFunctional(t *testing.T) {
+	// Every figure with its reduced-scale functional cross-check: the
+	// full harness end to end.
+	var b strings.Builder
+	if err := run(&b, 0, 0, true, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "functional cross-check") < 5 {
+		t.Errorf("expected at least 5 functional sections, got %d",
+			strings.Count(out, "functional cross-check"))
+	}
+	// Functional Figure 7 must reproduce the who-wins flip: at the
+	// largest functional d, Level 3's column value is below Level 2's.
+	idx := strings.Index(out, "Figure 7 functional cross-check")
+	if idx < 0 {
+		t.Fatal("figure 7 functional section missing")
+	}
+	section := out[idx:]
+	lines := strings.Split(section, "\n")
+	var last string
+	for _, l := range lines[3:] {
+		if strings.TrimSpace(l) == "" {
+			break
+		}
+		last = l
+	}
+	fields := strings.Fields(last)
+	if len(fields) != 3 {
+		t.Fatalf("unexpected functional row %q", last)
+	}
+	if !(fields[2] < fields[1]) { // same width, lexicographic compare works for %.6f
+		t.Errorf("at d=%s Level 3 (%s) should beat Level 2 (%s)", fields[0], fields[2], fields[1])
+	}
+}
+
+func TestRunPlotMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 9, 0, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 9 (model, log y)", "* = Level 2", "+ = Level 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q", want)
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int{5, 1, 4, 1, 3}
+	sortInts(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}

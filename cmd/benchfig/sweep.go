@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// sweepSpec is a user-defined figure: one scenario parameter varies
+// over a range while the others are fixed. The -sweep flag syntax is
+// semicolon-separated key=value pairs, where exactly one of nodes, n,
+// k or d carries a range:
+//
+//	lo..hi:step     arithmetic progression
+//	lo..hi*factor   geometric progression
+//
+// Examples:
+//
+//	-sweep "level=3;nodes=128;n=1265723;k=2000;d=512..8192:512"
+//	-sweep "level=2;nodes=2..256*2;n=1265723;k=2000;d=4096"
+//	-sweep "level=0;nodes=128;n=1265723;k=256..131072*2;d=4096"  (level 0 = both 2 and 3)
+type sweepSpec struct {
+	levels []core.Level
+	base   perfmodel.Scenario
+	vary   string
+	xs     []int
+}
+
+// parseSweep parses the -sweep flag value.
+func parseSweep(s string) (*sweepSpec, error) {
+	spec := &sweepSpec{}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("sweep: %q is not key=value", part)
+		}
+		key := strings.TrimSpace(kv[0])
+		val := strings.TrimSpace(kv[1])
+		if seen[key] {
+			return nil, fmt.Errorf("sweep: duplicate key %q", key)
+		}
+		seen[key] = true
+		if key == "level" {
+			lv, err := strconv.Atoi(val)
+			if err != nil || lv < 0 || lv > 3 {
+				return nil, fmt.Errorf("sweep: level must be 0 (compare 2 vs 3), 1, 2 or 3")
+			}
+			if lv == 0 {
+				spec.levels = []core.Level{core.Level2, core.Level3}
+			} else {
+				spec.levels = []core.Level{core.Level(lv)}
+			}
+			continue
+		}
+		if !strings.ContainsAny(val, ".*:") || !strings.Contains(val, "..") {
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s=%q is not an integer", key, val)
+			}
+			if err := spec.setFixed(key, v); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		xs, err := parseRange(val)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", key, err)
+		}
+		if spec.vary != "" {
+			return nil, fmt.Errorf("sweep: both %q and %q carry ranges; exactly one may vary", spec.vary, key)
+		}
+		switch key {
+		case "nodes", "n", "k", "d":
+			spec.vary = key
+			spec.xs = xs
+		default:
+			return nil, fmt.Errorf("sweep: unknown range key %q", key)
+		}
+	}
+	if len(spec.levels) == 0 {
+		return nil, fmt.Errorf("sweep: missing level=")
+	}
+	if spec.vary == "" {
+		return nil, fmt.Errorf("sweep: no parameter carries a range (use lo..hi:step or lo..hi*factor)")
+	}
+	for _, key := range []string{"nodes", "n", "k", "d"} {
+		if key != spec.vary && !seen[key] {
+			return nil, fmt.Errorf("sweep: missing %s=", key)
+		}
+	}
+	return spec, nil
+}
+
+func (s *sweepSpec) setFixed(key string, v int) error {
+	switch key {
+	case "nodes":
+		s.base.Nodes = v
+	case "n":
+		s.base.N = v
+	case "k":
+		s.base.K = v
+	case "d":
+		s.base.D = v
+	default:
+		return fmt.Errorf("sweep: unknown key %q", key)
+	}
+	return nil
+}
+
+func (s *sweepSpec) scenarioAt(x int) perfmodel.Scenario {
+	sc := s.base
+	switch s.vary {
+	case "nodes":
+		sc.Nodes = x
+	case "n":
+		sc.N = x
+	case "k":
+		sc.K = x
+	case "d":
+		sc.D = x
+	}
+	return sc
+}
+
+// parseRange parses "lo..hi:step" or "lo..hi*factor".
+func parseRange(val string) ([]int, error) {
+	var sep string
+	if strings.Contains(val, ":") {
+		sep = ":"
+	} else if strings.Contains(val, "*") {
+		sep = "*"
+	} else {
+		return nil, fmt.Errorf("range %q needs :step or *factor", val)
+	}
+	main, stepStr, _ := strings.Cut(val, sep)
+	lo, hi, ok := strings.Cut(main, "..")
+	if !ok {
+		return nil, fmt.Errorf("range %q needs lo..hi", val)
+	}
+	loV, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return nil, fmt.Errorf("bad range start %q", lo)
+	}
+	hiV, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return nil, fmt.Errorf("bad range end %q", hi)
+	}
+	stepV, err := strconv.Atoi(strings.TrimSpace(stepStr))
+	if err != nil {
+		return nil, fmt.Errorf("bad range step %q", stepStr)
+	}
+	if loV < 1 || hiV < loV {
+		return nil, fmt.Errorf("range %q must satisfy 1 <= lo <= hi", val)
+	}
+	var xs []int
+	switch sep {
+	case ":":
+		if stepV < 1 {
+			return nil, fmt.Errorf("arithmetic step must be >= 1")
+		}
+		for x := loV; x <= hiV; x += stepV {
+			xs = append(xs, x)
+		}
+	case "*":
+		if stepV < 2 {
+			return nil, fmt.Errorf("geometric factor must be >= 2")
+		}
+		for x := loV; x <= hiV; x *= stepV {
+			xs = append(xs, x)
+		}
+	}
+	if len(xs) > 64 {
+		return nil, fmt.Errorf("range %q yields %d points (max 64)", val, len(xs))
+	}
+	return xs, nil
+}
+
+// customSweep runs a user-defined sweep and emits the table (and chart
+// in -plot mode).
+func customSweep(c *ctx, sweepArg string) error {
+	spec, err := parseSweep(sweepArg)
+	if err != nil {
+		return err
+	}
+	var series []perfmodel.Series
+	for _, lv := range spec.levels {
+		series = append(series, perfmodel.Sweep(lv.String(), lv, spec.xs, spec.scenarioAt))
+	}
+	show := func(key string, v int) string {
+		if key == spec.vary {
+			return key + "=*"
+		}
+		return fmt.Sprintf("%s=%d", key, v)
+	}
+	title := fmt.Sprintf("Custom sweep — vary %s (%s %s %s %s) [model, calibrated]",
+		spec.vary, show("nodes", spec.base.Nodes), show("n", spec.base.N),
+		show("k", spec.base.K), show("d", spec.base.D))
+	if err := c.emit(seriesTable(title, spec.vary, series)); err != nil {
+		return err
+	}
+	return c.plotSeries("custom sweep (model, log y)", series)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"1..5:2", []int{1, 3, 5}},
+		{"2..16*2", []int{2, 4, 8, 16}},
+		{"512..1536:512", []int{512, 1024, 1536}},
+	}
+	for _, c := range cases {
+		got, err := parseRange(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: %v", c.in, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	for _, bad := range []string{"5", "1..5", "5..1:1", "1..5:0", "1..5*1", "0..4:1", "a..5:1", "1..b:1", "1..5:x", "1..1000000:1"} {
+		if _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	spec, err := parseSweep("level=3;nodes=128;n=1000000;k=2000;d=512..2048*2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.vary != "d" || len(spec.xs) != 3 || len(spec.levels) != 1 {
+		t.Errorf("spec = %+v", spec)
+	}
+	sc := spec.scenarioAt(1024)
+	if sc.D != 1024 || sc.K != 2000 || sc.Nodes != 128 || sc.N != 1000000 {
+		t.Errorf("scenario = %+v", sc)
+	}
+	// level=0 expands to the comparison pair.
+	spec, err = parseSweep("level=0;nodes=2..8*2;n=1000;k=16;d=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.levels) != 2 || spec.vary != "nodes" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if sc := spec.scenarioAt(4); sc.Nodes != 4 || sc.D != 64 {
+		t.Errorf("scenario = %+v", sc)
+	}
+}
+
+func TestParseSweepErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                                        // nothing
+		"nodes=1;n=10;k=2;d=1..4:1",               // missing level
+		"level=3;nodes=1;n=10;k=2;d=4",            // no range
+		"level=3;nodes=1..2:1;n=10;k=2;d=1..4:1",  // two ranges
+		"level=9;nodes=1;n=10;k=2;d=1..4:1",       // bad level
+		"level=3;nodes=1;n=10;k=2",                // missing d
+		"level=3;nodes=1;n=10;k=2;d=1..4:1;k=3",   // duplicate key
+		"level=3;widgets=7;nodes=1;n=10;k=2;d=4",  // unknown key, no range anywhere
+		"level=3;nodes=x;n=10;k=2;d=1..4:1",       // non-integer
+		"level=3;nodes",                           // not key=value
+		"level=3;widgets=1..4:1;nodes=1;n=10;k=2", // unknown range key
+	} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCustomSweepEndToEnd(t *testing.T) {
+	var b strings.Builder
+	c := &ctx{out: &b, plot: true}
+	c.emit = emitter(&b, false)
+	if err := customSweep(c, "level=0;nodes=128;n=1265723;k=2000;d=2048..8192*2"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Custom sweep", "cannot run", "custom sweep (model, log y)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	if err := customSweep(c, "level=3;bad"); err == nil {
+		t.Error("bad sweep accepted")
+	}
+}

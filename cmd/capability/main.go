@@ -1,0 +1,77 @@
+// Command capability regenerates the paper's Table I — the capability
+// comparison of parallel k-means implementations — with our row
+// derived live from the LDM constraint model (Section III's C″
+// constraints) instead of being hard-coded, and prints the constraint
+// arithmetic behind it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 40960, "deployment size used for the capability bound (full TaihuLight)")
+	flag.Parse()
+	if err := run(os.Stdout, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "capability:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, nodes int) error {
+	spec, err := machine.NewSpec(nodes)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table I — Parallel k-means implementations",
+		"Approach", "Hardware resources", "Programming model", "Samples n", "Clusters k", "Dimensions d")
+	for _, r := range perfmodel.TableI(spec) {
+		t.AddStringRow(r.Approach, r.Hardware, r.Model,
+			fmt.Sprintf("%.0g", r.N), fmt.Sprintf("%d", r.K), fmt.Sprintf("%d", r.D))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nConstraint arithmetic on %v:\n", spec)
+	ldmElems := ldm.ElemsPerLDM(spec.LDMBytesPerCPE)
+	fmt.Fprintf(w, "  LDM per CPE: %d elements (%d B at %d B/element)\n",
+		ldmElems, spec.LDMBytesPerCPE, ldm.ElemBytes)
+	fmt.Fprintf(w, "  C\"2 (3d+1 <= 64*LDM): d <= %d\n", perfmodel.MaxD(spec))
+	for _, d := range []int{196608, perfmodel.MaxD(spec)} {
+		fmt.Fprintf(w, "  C\"1/C\"3 at d=%d with the whole deployment as one CG group: k <= %d\n",
+			d, perfmodel.MaxK(spec, d))
+	}
+	if ldm.CheckLevel3(spec, 160000, 196608, spec.CGs()) == nil {
+		fmt.Fprintf(w, "\nThe paper's capability claim (k=160,000 at d=196,608) requires\n")
+		fmt.Fprintf(w, "m'group >= %d CGs; the deployment has %d CGs.\n",
+			neededGroup(spec, 160000, 196608), spec.CGs())
+	} else {
+		fmt.Fprintf(w, "\nThe paper's capability claim (k=160,000 at d=196,608) does not fit\n")
+		fmt.Fprintf(w, "this %d-CG deployment; use -nodes 40960 for the full machine.\n", spec.CGs())
+	}
+	return nil
+}
+
+// neededGroup finds the smallest CG group hosting k centroids at
+// dimension d.
+func neededGroup(spec *machine.Spec, k, d int) int {
+	lo, hi := 1, spec.CGs()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ldm.CheckLevel3(spec, k, d, mid) == nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestRunFullMachine(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 40960); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table I", "Our approach", "d <= 349504",
+		"requires", "m'group >=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSmallMachine(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "does not fit") {
+		t.Error("small machine should report the claim does not fit")
+	}
+}
+
+func TestRunBadNodes(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+}
+
+func TestNeededGroupIsMinimal(t *testing.T) {
+	spec := machine.MustSpec(40960)
+	g := neededGroup(spec, 2000, 196608)
+	if g < 751 || g > 1100 {
+		t.Errorf("neededGroup = %d, want about 751-1100 for the headline shape", g)
+	}
+}

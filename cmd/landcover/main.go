@@ -1,0 +1,147 @@
+// Command landcover reproduces the paper's Figure 10 application:
+// unsupervised land-cover classification of a remote-sensing image
+// with Level-3 k-means into the seven DeepGlobe classes (urban,
+// agriculture, rangeland, forest, water, barren, unknown).
+//
+// The paper clusters one 2448x2448-pixel DeepGlobe image as
+// n=5,838,480 pixel-block samples with d=4096 on 400 processors; this
+// command synthesizes a DeepGlobe-like image at a configurable reduced
+// scale (the full shape needs more floating-point work per iteration
+// than the host can execute), classifies it on the simulated machine
+// and writes two PPM images: the ground-truth class map and the
+// clustering result, coloured like the paper's figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/quality"
+)
+
+func main() {
+	var (
+		side  = flag.Int("side", 96, "image side length in pixel blocks")
+		d     = flag.Int("d", 48, "features per pixel block (paper: 4096)")
+		nodes = flag.Int("nodes", 2, "SW26010 nodes to simulate (paper: 100, i.e. 400 processors... 400 CGs)")
+		iters = flag.Int("iters", 12, "max Lloyd iterations")
+		seed  = flag.Uint64("seed", 2018, "deterministic seed")
+		outD  = flag.String("out", ".", "output directory for PPM images")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *side, *d, *nodes, *iters, *seed, *outD); err != nil {
+		fmt.Fprintln(os.Stderr, "landcover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, side, d, nodes, iters int, seed uint64, outDir string) error {
+	lc, err := dataset.NewLandCover(side, side, d, seed)
+	if err != nil {
+		return err
+	}
+	spec, err := machine.NewSpec(nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "image   : %dx%d blocks, %d features/block (n=%d)\n", side, side, d, lc.N())
+	fmt.Fprintf(w, "machine : %v\n", spec)
+
+	res, err := core.Run(core.Config{
+		Spec:     spec,
+		Level:    core.Level3,
+		K:        dataset.LandCoverClasses,
+		MaxIters: iters,
+		Seed:     seed,
+		Init:     core.InitKMeansPlusPlus,
+	}, lc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "plan    : %v\n", res.Plan)
+	fmt.Fprintf(w, "iters   : %d (converged=%v), %.6f simulated s/iter\n",
+		res.Iters, res.Converged, res.MeanIterTime())
+
+	truth := lc.TrueClassMap()
+	acc, err := quality.Accuracy(res.Assign, truth)
+	if err != nil {
+		return err
+	}
+	ari, err := quality.ARI(res.Assign, truth)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "quality : accuracy=%.4f ARI=%.4f over %d classes\n", acc, ari, lc.Classes())
+
+	// Recolour predicted clusters by their best-matching true class so
+	// the two images use the same palette, like the paper's side-by-
+	// side presentation.
+	mapping := matchClusters(res.Assign, truth, lc.Classes())
+	pred := make([]int, len(res.Assign))
+	for i, a := range res.Assign {
+		pred[i] = mapping[a]
+	}
+
+	if err := writePPM(lc, filepath.Join(outDir, "landcover_truth.ppm"), truth); err != nil {
+		return err
+	}
+	if err := writePPM(lc, filepath.Join(outDir, "landcover_kmeans.ppm"), pred); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "output  : %s, %s\n",
+		filepath.Join(outDir, "landcover_truth.ppm"),
+		filepath.Join(outDir, "landcover_kmeans.ppm"))
+	return nil
+}
+
+// matchClusters greedily maps each predicted cluster to the true class
+// it overlaps most.
+func matchClusters(pred, truth []int, classes int) map[int]int {
+	counts := map[[2]int]int{}
+	for i := range pred {
+		counts[[2]int{pred[i], truth[i]}]++
+	}
+	mapping := make(map[int]int, classes)
+	usedT := map[int]bool{}
+	for len(mapping) < classes {
+		best, bp, bt := -1, -1, -1
+		for key, v := range counts {
+			if _, done := mapping[key[0]]; done || usedT[key[1]] {
+				continue
+			}
+			if v > best || (v == best && (key[0] < bp || (key[0] == bp && key[1] < bt))) {
+				best, bp, bt = v, key[0], key[1]
+			}
+		}
+		if bp < 0 {
+			break
+		}
+		mapping[bp] = bt
+		usedT[bt] = true
+	}
+	// Any unmatched clusters render as "unknown".
+	for c := 0; c < classes; c++ {
+		if _, ok := mapping[c]; !ok {
+			mapping[c] = classes - 1
+		}
+	}
+	return mapping
+}
+
+func writePPM(lc *dataset.LandCover, path string, classMap []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lc.WritePPM(f, classMap); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesImages(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, 24, 12, 1, 4, 2018, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"landcover_truth.ppm", "landcover_kmeans.ppm"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "P6\n24 24\n255\n") {
+			t.Errorf("%s: bad PPM header", name)
+		}
+		if len(data) != len("P6\n24 24\n255\n")+24*24*3 {
+			t.Errorf("%s: size %d", name, len(data))
+		}
+	}
+	out := b.String()
+	for _, want := range []string{"quality :", "accuracy="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 12, 1, 4, 1, t.TempDir()); err == nil {
+		t.Error("side=0 accepted")
+	}
+	if err := run(&b, 8, 12, 0, 4, 1, t.TempDir()); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+}
+
+func TestMatchClusters(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2}
+	truth := []int{5, 5, 3, 3, 5}
+	m := matchClusters(pred, truth, 7)
+	if m[0] != 5 || m[1] != 3 {
+		t.Errorf("mapping = %v", m)
+	}
+	// Unmatched clusters map to the unknown class.
+	if m[4] != 6 {
+		t.Errorf("unmatched cluster mapped to %d, want 6", m[4])
+	}
+}

@@ -1,0 +1,424 @@
+// Command swkmeans runs multi-level k-means on the simulated Sunway
+// TaihuLight: pick a workload, a partition level and a machine size,
+// and it reports the partition plan, simulated per-iteration
+// completion times (the paper's metric), the traffic breakdown and
+// clustering quality against the generated ground truth.
+//
+// Examples:
+//
+//	swkmeans -dataset kegg -scale 8 -level 1 -k 64 -nodes 1
+//	swkmeans -dataset imgnet -scale 2048 -d 3072 -level 3 -k 128 -nodes 2
+//	swkmeans -dataset gauss -n 5000 -d 64 -components 8 -level 2 -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/quality"
+	"repro/internal/report"
+	"repro/internal/sw26010"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dsName     = flag.String("dataset", "gauss", "workload: gauss, hard, kegg, road, census, imgnet, landcover")
+		scale      = flag.Int("scale", 64, "divide the published sample count by this factor (shaped datasets)")
+		n          = flag.Int("n", 4096, "samples (gauss dataset)")
+		d          = flag.Int("d", 32, "dimensions (gauss and imgnet datasets)")
+		components = flag.Int("components", 8, "ground-truth components (gauss dataset)")
+		level      = flag.Int("level", 3, "partition level: 1, 2, 3, or 0 = auto")
+		k          = flag.Int("k", 8, "centroids")
+		nodes      = flag.Int("nodes", 1, "SW26010 nodes to simulate")
+		iters      = flag.Int("iters", 10, "max Lloyd iterations")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		stride     = flag.Int("stride", 1, "process every stride-th sample (timing mode when > 1)")
+		mgroup     = flag.Int("mgroup", 0, "Level-2 CPE group size (0 = auto)")
+		mprime     = flag.Int("mprime", 0, "Level-3 CG group size (0 = auto)")
+		useKpp     = flag.Bool("kmeanspp", false, "use k-means++ initialization")
+		algo       = flag.String("algo", "sim", "sim (simulated machine), a host baseline (lloyd, hamerly, elkan, minibatch), or a fine-grained CPE-level kernel (fine1, fine2, fine3)")
+		savePath   = flag.String("save", "", "write the trained centroid model to this file")
+		loadPath   = flag.String("load", "", "inference mode: classify the dataset with an existing centroid model instead of training")
+		summary    = flag.Bool("summary", false, "emit a JSON result summary to stdout")
+		preset     = flag.String("preset", "", "machine preset overriding -nodes: taihulight, headline, comparison, processor")
+		specPath   = flag.String("spec", "", "load the machine spec from a JSON file (see machine.WriteJSON)")
+	)
+	flag.Parse()
+	opts := options{
+		out:    os.Stdout,
+		dsName: *dsName, scale: *scale, n: *n, d: *d, components: *components,
+		level: *level, k: *k, nodes: *nodes, iters: *iters, seed: *seed,
+		stride: *stride, mgroup: *mgroup, mprime: *mprime, useKpp: *useKpp,
+		algo: *algo, savePath: *savePath, loadPath: *loadPath, summary: *summary,
+		preset: *preset, specPath: *specPath,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "swkmeans:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	out                     io.Writer
+	dsName                  string
+	scale, n, d, components int
+	level, k, nodes, iters  int
+	seed                    uint64
+	stride, mgroup, mprime  int
+	useKpp                  bool
+	algo                    string
+	savePath                string
+	loadPath                string
+	summary                 bool
+	preset                  string
+	specPath                string
+}
+
+// buildSpec resolves the machine: an explicit JSON spec wins, then a
+// preset, then -nodes.
+func (o options) buildSpec() (*machine.Spec, error) {
+	if o.specPath != "" {
+		f, err := os.Open(o.specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return machine.ReadJSON(f)
+	}
+	if o.preset != "" {
+		return machine.Preset(o.preset)
+	}
+	return machine.NewSpec(o.nodes)
+}
+
+// buildSource constructs the selected workload and returns it along
+// with its ground-truth labeler (nil when unknown).
+func buildSource(name string, scale, n, d, components int, seed uint64) (dataset.Source, func(int) int, error) {
+	switch name {
+	case "gauss":
+		g, err := dataset.NewGaussianMixture("gauss", n, d, components, 0.2, 2.0, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g.TrueLabel, nil
+	case "kegg":
+		g, err := dataset.Kegg(scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g.TrueLabel, nil
+	case "road":
+		g, err := dataset.Road(scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g.TrueLabel, nil
+	case "census":
+		g, err := dataset.Census(scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g.TrueLabel, nil
+	case "imgnet":
+		g, err := dataset.ImgNet(d, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g.TrueLabel, nil
+	case "landcover":
+		side := 2448 / max(1, scale)
+		lc, err := dataset.NewLandCover(max(8, side), max(8, side), d, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lc, lc.TrueLabel, nil
+	case "hard":
+		// Anisotropic, imbalanced mixture with 8% uniform outliers.
+		h, err := dataset.NewHardMixture("hard", n, d, components, 0.15, 2.0, 3, 0.08, 0.7, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return h, h.TrueLabel, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func run(o options) error {
+	src, labeler, err := buildSource(o.dsName, o.scale, o.n, o.d, o.components, o.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out, "dataset : %s  n=%d d=%d\n", o.dsName, src.N(), src.D())
+
+	if o.loadPath != "" {
+		return runInference(o, src, labeler)
+	}
+	switch o.algo {
+	case "sim":
+	case "fine1", "fine2", "fine3":
+		return runFineGrained(o, src, labeler)
+	default:
+		return runHostBaseline(o, src, labeler)
+	}
+
+	spec, err := o.buildSpec()
+	if err != nil {
+		return err
+	}
+	stats := trace.NewStats()
+	cfg := core.Config{
+		Spec:         spec,
+		Level:        core.Level(o.level),
+		K:            o.k,
+		MaxIters:     o.iters,
+		Seed:         o.seed,
+		SampleStride: o.stride,
+		MGroup:       o.mgroup,
+		MPrimeGroup:  o.mprime,
+		Stats:        stats,
+	}
+	if o.useKpp {
+		cfg.Init = core.InitKMeansPlusPlus
+	}
+	fmt.Fprintf(o.out, "machine : %v\n", spec)
+
+	res, err := core.Run(cfg, src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out, "plan    : %v\n", res.Plan)
+	fmt.Fprintf(o.out, "iters   : %d (converged=%v)\n", res.Iters, res.Converged)
+	fmt.Fprintf(o.out, "traffic : %v\n", res.Traffic)
+
+	tb := report.NewTable("\nsimulated one-iteration completion time", "iteration", "seconds")
+	for i, it := range res.IterTimes {
+		tb.AddRow(i+1, it)
+	}
+	tb.AddStringRow("mean", fmt.Sprintf("%.6f", res.MeanIterTime()))
+	if err := tb.Render(o.out); err != nil {
+		return err
+	}
+
+	if labeler != nil && o.stride == 1 {
+		if err := printQuality(o.out, src, res.Centroids, res.D, res.Assign, labeler); err != nil {
+			return err
+		}
+	}
+	if o.savePath != "" {
+		if err := saveModel(o.savePath, res.Centroids, res.K, res.D); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "model   : saved to %s\n", o.savePath)
+	}
+	if o.summary {
+		return res.WriteSummary(o.out)
+	}
+	return nil
+}
+
+// runInference classifies the dataset with a previously trained
+// centroid model: no training iterations, just the Assign step.
+func runInference(o options, src dataset.Source, labeler func(int) int) error {
+	f, err := os.Open(o.loadPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cents, k, d, err := core.LoadCentroids(f)
+	if err != nil {
+		return err
+	}
+	if d != src.D() {
+		return fmt.Errorf("model dimensionality %d does not match dataset d=%d", d, src.D())
+	}
+	fmt.Fprintf(o.out, "model   : %s (k=%d d=%d)\n", o.loadPath, k, d)
+	assign := make([]int, src.N())
+	buf := make([]float64, d)
+	for i := 0; i < src.N(); i++ {
+		src.Sample(i, buf)
+		best, bestD := -1, 0.0
+		for j := 0; j < k; j++ {
+			cj := cents[j*d : (j+1)*d]
+			acc := 0.0
+			for u := 0; u < d; u++ {
+				diff := buf[u] - cj[u]
+				acc += diff * diff
+			}
+			if best < 0 || acc < bestD {
+				best, bestD = j, acc
+			}
+		}
+		assign[i] = best
+	}
+	if labeler != nil {
+		return printQuality(o.out, src, cents, d, assign, labeler)
+	}
+	return nil
+}
+
+// runFineGrained executes the CPE-level reference kernels of
+// internal/sw26010 (fine1/fine2/fine3 select the algorithm).
+func runFineGrained(o options, src dataset.Source, labeler func(int) int) error {
+	spec, err := o.buildSpec()
+	if err != nil {
+		return err
+	}
+	init, err := core.InitialCentroids(src, o.k, o.seed)
+	if err != nil {
+		return err
+	}
+	if o.useKpp {
+		init, err = core.KMeansPlusPlus(src, o.k, o.seed)
+		if err != nil {
+			return err
+		}
+	}
+	var res *sw26010.Result
+	switch o.algo {
+	case "fine1":
+		res, err = sw26010.RunLevel1CG(spec, src, init, o.iters, 0)
+	case "fine2":
+		mg := o.mgroup
+		if mg == 0 {
+			mg = 8
+		}
+		res, err = sw26010.RunLevel2CG(spec, src, init, mg, o.iters, 0)
+	default:
+		mp := o.mprime
+		if mp == 0 {
+			mp = 1
+		}
+		res, err = sw26010.RunLevel3Group(spec, src, init, mp, 64, o.iters, 0)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out, "algo    : %s (CPE-granularity reference)\n", o.algo)
+	fmt.Fprintf(o.out, "iters   : %d (converged=%v), %.6f sim s/iter\n",
+		res.Iters, res.Converged, meanOf(res.IterTimes))
+	if labeler != nil {
+		return printQuality(o.out, src, res.Centroids, src.D(), res.Assign, labeler)
+	}
+	return nil
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// runHostBaseline executes a sequential host algorithm (the paper's
+// single-node comparator family) instead of the simulated machine.
+func runHostBaseline(o options, src dataset.Source, labeler func(int) int) error {
+	init, err := core.InitialCentroids(src, o.k, o.seed)
+	if err != nil {
+		return err
+	}
+	if o.useKpp {
+		init, err = core.KMeansPlusPlus(src, o.k, o.seed)
+		if err != nil {
+			return err
+		}
+	}
+	var cents []float64
+	var assign []int
+	var iters int
+	var distances int64
+	switch o.algo {
+	case "lloyd":
+		res, err := core.LloydFrom(src, init, o.iters, 0)
+		if err != nil {
+			return err
+		}
+		cents, assign, iters = res.Centroids, res.Assign, res.Iters
+		distances = int64(src.N()) * int64(o.k) * int64(res.Iters)
+	case "hamerly":
+		res, err := accel.Hamerly(src, init, o.iters, 0)
+		if err != nil {
+			return err
+		}
+		cents, assign, iters, distances = res.Centroids, res.Assign, res.Counters.Iters, res.Counters.Distances
+	case "elkan":
+		res, err := accel.Elkan(src, init, o.iters, 0)
+		if err != nil {
+			return err
+		}
+		cents, assign, iters, distances = res.Centroids, res.Assign, res.Counters.Iters, res.Counters.Distances
+	case "minibatch":
+		res, err := accel.MiniBatch(src, init, o.iters, 256, o.seed)
+		if err != nil {
+			return err
+		}
+		cents, assign, iters, distances = res.Centroids, res.Assign, res.Counters.Iters, res.Counters.Distances
+	default:
+		return fmt.Errorf("unknown algorithm %q", o.algo)
+	}
+	fmt.Fprintf(o.out, "algo    : %s (host baseline)\n", o.algo)
+	fmt.Fprintf(o.out, "iters   : %d, %d distance computations\n", iters, distances)
+	if labeler != nil {
+		if err := printQuality(o.out, src, cents, src.D(), assign, labeler); err != nil {
+			return err
+		}
+	}
+	if o.savePath != "" {
+		if err := saveModel(o.savePath, cents, o.k, src.D()); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "model   : saved to %s\n", o.savePath)
+	}
+	return nil
+}
+
+func printQuality(w io.Writer, src dataset.Source, cents []float64, d int, assign []int, labeler func(int) int) error {
+	truth := make([]int, src.N())
+	for i := range truth {
+		truth[i] = labeler(i)
+	}
+	ari, err := quality.ARI(assign, truth)
+	if err != nil {
+		return err
+	}
+	nmi, err := quality.NMI(assign, truth)
+	if err != nil {
+		return err
+	}
+	obj, err := quality.Objective(src, cents, d, assign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nquality : ARI=%.4f NMI=%.4f objective=%.6g\n", ari, nmi, obj)
+	return nil
+}
+
+func saveModel(path string, cents []float64, k, d int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveCentroids(f, cents, k, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func base(out *strings.Builder) options {
+	return options{
+		out: out, dsName: "gauss", scale: 64, n: 400, d: 8, components: 4,
+		level: 1, k: 4, nodes: 1, iters: 5, seed: 1, stride: 1, algo: "sim",
+	}
+}
+
+func TestRunSimulated(t *testing.T) {
+	var b strings.Builder
+	if err := run(base(&b)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"plan    :", "quality :", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAutoLevelAndSummary(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.level = 0
+	o.summary = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"mean_iter_seconds"`) {
+		t.Error("summary JSON missing")
+	}
+}
+
+func TestRunSaveModel(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.savePath = filepath.Join(t.TempDir(), "model.swkm")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(o.savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 16+4*8*8 {
+		t.Errorf("model file size %d", info.Size())
+	}
+}
+
+func TestRunHostBaselines(t *testing.T) {
+	for _, algo := range []string{"lloyd", "hamerly", "elkan", "minibatch"} {
+		var b strings.Builder
+		o := base(&b)
+		o.algo = algo
+		o.useKpp = true
+		if err := run(o); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(b.String(), algo+" (host baseline)") {
+			t.Errorf("%s output wrong:\n%s", algo, b.String())
+		}
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.algo = "magic"
+	if err := run(o); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBuildSourceVariants(t *testing.T) {
+	for _, name := range []string{"gauss", "hard", "kegg", "road", "census", "imgnet", "landcover"} {
+		src, labeler, err := buildSource(name, 256, 100, 8, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if src.N() < 1 || src.D() < 1 {
+			t.Errorf("%s: shape %dx%d", name, src.N(), src.D())
+		}
+		if labeler == nil {
+			t.Errorf("%s: no labeler", name)
+		}
+	}
+	if _, _, err := buildSource("nope", 1, 1, 1, 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunInference(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.savePath = filepath.Join(t.TempDir(), "model.swkm")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Reload and classify.
+	var b2 strings.Builder
+	o2 := base(&b2)
+	o2.loadPath = o.savePath
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "model   :") || !strings.Contains(b2.String(), "quality :") {
+		t.Errorf("inference output wrong:\n%s", b2.String())
+	}
+	// Dimension mismatch rejected.
+	o3 := base(&strings.Builder{})
+	o3.loadPath = o.savePath
+	o3.d = 16
+	if err := run(o3); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Missing file.
+	o4 := base(&strings.Builder{})
+	o4.loadPath = filepath.Join(t.TempDir(), "missing.swkm")
+	if err := run(o4); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestRunFineGrainedKernels(t *testing.T) {
+	for _, algo := range []string{"fine1", "fine2", "fine3"} {
+		var b strings.Builder
+		o := base(&b)
+		o.algo = algo
+		o.n = 256
+		o.iters = 3
+		if algo == "fine3" {
+			o.mprime = 2
+		}
+		if err := run(o); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(b.String(), "CPE-granularity reference") {
+			t.Errorf("%s output wrong:\n%s", algo, b.String())
+		}
+	}
+}
+
+func TestRunStrideSkipsQuality(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.stride = 4
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "quality :") {
+		t.Error("quality printed in stride mode")
+	}
+}
+
+func TestBuildSpecPrecedence(t *testing.T) {
+	// Preset overrides nodes.
+	o := options{nodes: 7, preset: "processor"}
+	s, err := o.buildSpec()
+	if err != nil || s.Nodes != 1 {
+		t.Errorf("preset spec = %v (%v)", s, err)
+	}
+	// JSON file overrides both.
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{"nodes":3,"ldm_bytes_per_cpe":65536,"dram_bytes_per_cg":8589934592,
+		"bandwidths":{"DMA":32e9,"RegComm":46.4e9,"Network":16e9,"IntraSupernodeFactor":1,
+		"InterSupernodeFactor":0.6,"NetworkLatency":1.5e-6,"DMALatency":1e-6,"RegLatency":1e-8},
+		"compute":{"FlopsPerCPE":4e9}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = options{nodes: 7, preset: "processor", specPath: path}
+	s, err = o.buildSpec()
+	if err != nil || s.Nodes != 3 {
+		t.Errorf("file spec = %v (%v)", s, err)
+	}
+	// Bad preset fails.
+	o = options{preset: "nope"}
+	if _, err := o.buildSpec(); err == nil {
+		t.Error("bad preset accepted")
+	}
+	// Missing file fails.
+	o = options{specPath: filepath.Join(t.TempDir(), "missing.json")}
+	if _, err := o.buildSpec(); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

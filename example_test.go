@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example reproduces the README quickstart: cluster a streaming
+// Gaussian mixture with the paper's nkd-partition on a small simulated
+// deployment. Everything is deterministic, including the simulated
+// timing, so the output is stable.
+func Example() {
+	spec, err := repro.NewMachine(2) // 2 SW26010 nodes = 8 core groups
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := repro.GaussianMixture("demo", 10_000, 64, 8, 0.2, 2.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Run(repro.Config{
+		Spec:     spec,
+		Level:    repro.Level3,
+		K:        8,
+		MaxIters: 25,
+		Init:     repro.InitKMeansPlusPlus,
+		Seed:     42,
+	}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := make([]int, src.N())
+	for i := range truth {
+		truth[i] = src.TrueLabel(i)
+	}
+	ari, err := repro.ARI(res.Assign, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Plan)
+	fmt.Printf("converged=%v ARI=%.2f\n", res.Converged, ari)
+	// Output:
+	// level3(nkd-partition) ranks=8 m'group=1 groups=8 kLocal<=8 dStripe=1
+	// converged=true ARI=1.00
+}
+
+// Example_paperScale shows the analytic model at the paper's headline
+// operating point, which no host could execute functionally.
+func Example_paperScale() {
+	p, err := repro.Predict(repro.Level3, repro.Scenario{
+		Nodes: 4096, N: 1_265_723, K: 2000, D: 196_608,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headline: %.2f s/iteration on %d nodes (paper: < 18 s)\n", p.Total, 4096)
+	// Output:
+	// headline: 9.95 s/iteration on 4096 nodes (paper: < 18 s)
+}

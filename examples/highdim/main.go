@@ -1,0 +1,67 @@
+// High-dimensional clustering — the regime the paper was built for.
+// This example clusters an ImageNet-shaped workload (d = 3,072, the
+// 32x32x3 feature size of Figure 5) at a reduced sample count,
+// comparing the partition plans and simulated iteration times of the
+// nk-partition (Level 2, the prior state of the art) against the
+// nkd-partition (Level 3, the paper's contribution), and shows where
+// Level 2's capacity constraints end while Level 3 keeps scaling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	spec, err := repro.NewMachine(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ImgNet shape scaled down 1024x in n: 1,236 samples at d=3,072.
+	src, err := dataset.ImgNet(3072, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s n=%d d=%d on %v\n\n", src.Name(), src.N(), src.D(), spec)
+
+	for _, level := range []repro.Level{repro.Level2, repro.Level3} {
+		cfg := repro.Config{
+			Spec:         spec,
+			Level:        level,
+			K:            64,
+			MaxIters:     2,
+			Seed:         9,
+			SampleStride: 4, // timing mode: charge full dataflow, process a quarter
+			Stats:        repro.NewStats(),
+		}
+		res, err := repro.Run(cfg, src)
+		if err != nil {
+			fmt.Printf("%v: cannot run: %v\n\n", level, err)
+			continue
+		}
+		fmt.Printf("%v\n  plan: %v\n  %.6f simulated s/iter, traffic %v\n\n",
+			level, res.Plan, res.MeanIterTime(), res.Traffic)
+	}
+
+	// Where the levels stop: probe the feasibility boundary in d at a
+	// fixed k, the axis Figure 7 sweeps, against the published sample
+	// count (n = 1,265,723).
+	fmt.Println("feasibility in d at k=2000, published n (the Figure 7 axis):")
+	for _, d := range []int{1024, 4096, 4608, 196608} {
+		l2 := "ok"
+		if _, err := repro.PlanFor(repro.Config{Spec: spec, Level: repro.Level2, K: 2000}, dataset.ImgNetN, d); err != nil {
+			l2 = "cannot run"
+		}
+		l3 := "ok"
+		plan, err := repro.PlanFor(repro.Config{Spec: spec, Level: repro.Level3, K: 2000}, dataset.ImgNetN, d)
+		if err != nil {
+			l3 = "cannot run"
+		} else if plan.Tiled {
+			l3 = "ok (tiled)"
+		}
+		fmt.Printf("  d=%-7d  Level 2: %-11s Level 3: %s\n", d, l2, l3)
+	}
+}

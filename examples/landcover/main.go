@@ -1,0 +1,80 @@
+// Land-cover classification — the remote-sensing application from the
+// paper's introduction and Section IV.D (Figure 10): cluster the
+// pixel blocks of a synthetic DeepGlobe-like satellite image into the
+// seven land-cover classes with Level-3 k-means, then measure how well
+// the unsupervised clusters recover the true class field.
+//
+// The paper's full-scale case is n=5,838,480 blocks at d=4096 on 400
+// core groups; this example runs the identical pipeline at a reduced
+// image size and writes the classification next to the ground truth
+// as PPM images.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/quality"
+)
+
+func main() {
+	// A 64x64-block image with 32 spectral features per block.
+	img, err := dataset.NewLandCover(64, 64, 32, 2018)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := repro.NewMachine(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := repro.Run(repro.Config{
+		Spec:     spec,
+		Level:    repro.Level3,
+		K:        img.Classes(),
+		MaxIters: 30,
+		Init:     repro.InitKMeansPlusPlus,
+		Seed:     7,
+	}, img)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := img.TrueClassMap()
+	acc, err := quality.Accuracy(res.Assign, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nmi, err := quality.NMI(res.Assign, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image      : %dx%d blocks, %d features (n=%d)\n",
+		img.Width(), img.Height(), img.D(), img.N())
+	fmt.Printf("plan       : %v\n", res.Plan)
+	fmt.Printf("iterations : %d, %.6f simulated s/iter\n", res.Iters, res.MeanIterTime())
+	fmt.Printf("accuracy   : %.4f  NMI: %.4f over %d classes\n", acc, nmi, img.Classes())
+
+	for _, out := range []struct {
+		path string
+		data []int
+	}{
+		{"landcover_truth.ppm", truth},
+		{"landcover_kmeans.ppm", res.Assign},
+	} {
+		f, err := os.Create(out.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := img.WritePPM(f, out.data); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote      : %s\n", out.path)
+	}
+}

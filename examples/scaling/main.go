@@ -1,0 +1,66 @@
+// Strong scaling — the Figure 9 experiment at functional scale: the
+// same clustering problem on a growing number of simulated nodes, with
+// the simulated one-iteration completion time and the traffic
+// breakdown per deployment. Watch the time shrink with the node count
+// while the network share of the traffic grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+func main() {
+	src, err := dataset.ImgNet(1024, 512) // n=2472, d=1024
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s n=%d d=%d, k=128, Level 3\n\n", src.Name(), src.N(), src.D())
+
+	type point struct {
+		nodes   int
+		seconds float64
+		traffic string
+	}
+	var points []point
+	for _, nodes := range []int{1, 2, 4, 8} {
+		spec, err := repro.NewMachine(nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := repro.NewStats()
+		res, err := repro.Run(repro.Config{
+			Spec:         spec,
+			Level:        repro.Level3,
+			K:            128,
+			MaxIters:     2,
+			Seed:         3,
+			SampleStride: 4,
+			Stats:        stats,
+		}, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, point{nodes, res.MeanIterTime(), res.Traffic.String()})
+	}
+
+	max := points[0].seconds
+	t := report.NewTable("simulated one-iteration completion time vs nodes",
+		"nodes", "s/iter", "speedup", "", "traffic")
+	for _, p := range points {
+		t.AddStringRow(
+			fmt.Sprintf("%d", p.nodes),
+			fmt.Sprintf("%.6f", p.seconds),
+			fmt.Sprintf("%.2fx", max/p.seconds),
+			report.Bar(p.seconds, max, 30),
+			p.traffic,
+		)
+	}
+	if err := t.Render(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+}

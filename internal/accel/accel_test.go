@@ -1,0 +1,245 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/quality"
+)
+
+func mixture(t testing.TB, n, d, comps int) *dataset.GaussianMixture {
+	t.Helper()
+	g, err := dataset.NewGaussianMixture("accel", n, d, comps, 0.15, 2.0, 0xACCE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// exactMatchesLloyd asserts that an exact accelerated algorithm
+// reproduces Lloyd's converged assignments and centroids.
+func exactMatchesLloyd(t *testing.T, name string,
+	run func(dataset.Source, []float64, int, float64) (*Result, error)) {
+	g := mixture(t, 500, 12, 5)
+	init, err := core.InitialCentroids(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.LloydFrom(g, init, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run(g, init, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("%s did not converge", name)
+	}
+	for i := range ref.Assign {
+		if res.Assign[i] != ref.Assign[i] {
+			t.Fatalf("%s: assignment diverges at sample %d: %d vs %d", name, i, res.Assign[i], ref.Assign[i])
+		}
+	}
+	for i := range ref.Centroids {
+		diff := math.Abs(res.Centroids[i] - ref.Centroids[i])
+		scale := math.Max(1, math.Abs(ref.Centroids[i]))
+		if diff/scale > 1e-9 {
+			t.Fatalf("%s: centroid element %d = %g, Lloyd %g", name, i, res.Centroids[i], ref.Centroids[i])
+		}
+	}
+	// The acceleration must actually skip work: strictly fewer point-
+	// to-centroid distances than Lloyd's n*k per iteration (allowing
+	// for the k*k centroid-pair distances).
+	lloydDistances := int64(g.N()) * 5 * int64(ref.Iters+1)
+	if res.Counters.Distances >= lloydDistances {
+		t.Errorf("%s computed %d distances, Lloyd-equivalent %d — no pruning",
+			name, res.Counters.Distances, lloydDistances)
+	}
+}
+
+func TestHamerlyMatchesLloyd(t *testing.T) {
+	exactMatchesLloyd(t, "hamerly", Hamerly)
+}
+
+func TestElkanMatchesLloyd(t *testing.T) {
+	exactMatchesLloyd(t, "elkan", Elkan)
+}
+
+func TestExactAlgorithmsAgreeOnManySeeds(t *testing.T) {
+	g := mixture(t, 240, 8, 4)
+	for seed := uint64(0); seed < 4; seed++ {
+		init, err := core.InitialCentroids(g, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.LloydFrom(g, init, 30, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Hamerly(g, init, 30, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Elkan(g, init, 30, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Assign {
+			if h.Assign[i] != ref.Assign[i] {
+				t.Fatalf("seed %d: hamerly diverges at %d", seed, i)
+			}
+			if e.Assign[i] != ref.Assign[i] {
+				t.Fatalf("seed %d: elkan diverges at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := mixture(t, 20, 4, 2)
+	init := make([]float64, 2*4)
+	if _, err := Hamerly(g, init[:3], 5, 0); err == nil {
+		t.Error("ragged init accepted")
+	}
+	if _, err := Hamerly(g, init, 0, 0); err == nil {
+		t.Error("maxIters=0 accepted")
+	}
+	if _, err := Elkan(g, make([]float64, 21*4), 5, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := MiniBatch(g, init[:3], 5, 4, 1); err == nil {
+		t.Error("minibatch ragged init accepted")
+	}
+	if _, err := MiniBatch(g, init, 0, 4, 1); err == nil {
+		t.Error("minibatch steps=0 accepted")
+	}
+	if _, err := MiniBatch(g, init, 5, 0, 1); err == nil {
+		t.Error("minibatch batch=0 accepted")
+	}
+}
+
+func TestMiniBatchQuality(t *testing.T) {
+	g := mixture(t, 600, 10, 6)
+	init, err := core.KMeansPlusPlus(g, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MiniBatch(g, init, 60, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, g.N())
+	for i := range truth {
+		truth[i] = g.TrueLabel(i)
+	}
+	ari, err := quality.ARI(res.Assign, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Errorf("mini-batch ARI = %g on separable data", ari)
+	}
+	// Objective within 20%% of the exact solution.
+	ref, err := core.LloydFrom(g, init, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objMB, err := quality.Objective(g, res.Centroids, res.D, res.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objRef, err := quality.Objective(g, ref.Centroids, ref.D, ref.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objMB > objRef*1.2 {
+		t.Errorf("mini-batch objective %g vs exact %g", objMB, objRef)
+	}
+}
+
+func TestMiniBatchDeterministic(t *testing.T) {
+	g := mixture(t, 100, 6, 3)
+	init, _ := core.InitialCentroids(g, 3, 1)
+	a, err := MiniBatch(g, init, 10, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MiniBatch(g, init, 10, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("mini-batch not deterministic")
+		}
+	}
+}
+
+func TestHamerlySkipsMoreAsConvergenceNears(t *testing.T) {
+	// After convergence, additional iterations should add almost no
+	// distance computations (all points pruned by bounds).
+	g := mixture(t, 400, 10, 4)
+	init, _ := core.InitialCentroids(g, 4, 9)
+	short, err := Hamerly(g, init, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Hamerly(g, init, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !short.Converged || !long.Converged {
+		t.Fatal("runs did not converge")
+	}
+	if long.Counters.Distances != short.Counters.Distances {
+		t.Errorf("post-convergence iterations changed distance count: %d vs %d",
+			long.Counters.Distances, short.Counters.Distances)
+	}
+}
+
+func BenchmarkLloydBaseline(b *testing.B) {
+	g := mixture(b, 2048, 16, 8)
+	init, _ := core.InitialCentroids(g, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LloydFrom(g, init, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHamerly(b *testing.B) {
+	g := mixture(b, 2048, 16, 8)
+	init, _ := core.InitialCentroids(g, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hamerly(g, init, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElkan(b *testing.B) {
+	g := mixture(b, 2048, 16, 8)
+	init, _ := core.InitialCentroids(g, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Elkan(g, init, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMiniBatch(b *testing.B) {
+	g := mixture(b, 2048, 16, 8)
+	init, _ := core.InitialCentroids(g, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MiniBatch(g, init, 5, 128, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+// LevelAuto asks Run to choose the partition level: the multi-level
+// flexibility of Section III.D. Every level is planned against the
+// capacity constraints and the cheapest feasible one (by the local
+// per-CG cost model) executes.
+const LevelAuto Level = 0
+
+// ChooseLevel plans all three levels for the problem shape and
+// returns the feasible one with the lowest estimated per-iteration
+// cost, together with its plan. It returns an error when no level can
+// host the shape on the machine.
+func ChooseLevel(cfg Config, n, d int) (Plan, error) {
+	cfg = cfg.withDefaults()
+	var best Plan
+	bestCost := 0.0
+	found := false
+	var lastErr error
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		c := cfg
+		c.Level = lv
+		plan, err := PlanFor(c, n, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cost := estimateIterCost(c, plan, n, d)
+		if !found || cost < bestCost {
+			best, bestCost, found = plan, cost, true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("core: no partition level feasible for n=%d k=%d d=%d: %w", n, cfg.K, d, lastErr)
+	}
+	return best, nil
+}
+
+// estimateIterCost returns the local per-CG critical-path seconds of
+// one iteration under the plan — sufficient for ranking levels (the
+// collective terms scale similarly across levels at a fixed rank
+// count).
+func estimateIterCost(cfg Config, plan Plan, n, d int) float64 {
+	switch plan.Level {
+	case Level2:
+		nLocal := ceilDiv(n, plan.Ranks)
+		return costmodel.Level2(cfg.Spec, nLocal, cfg.K, d, plan.MGroup, cfg.BatchSamples).Seconds()
+	case Level3:
+		nGroup := ceilDiv(n, plan.Groups)
+		return costmodel.Level3(cfg.Spec, nGroup, cfg.K, d, plan.MPrimeGroup, cfg.BatchSamples, plan.Tiled).Seconds()
+	default:
+		nLocal := ceilDiv(n, plan.Ranks)
+		return costmodel.Level1(cfg.Spec, nLocal, cfg.K, d).Seconds()
+	}
+}

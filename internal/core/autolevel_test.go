@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestChooseLevelSmallShape(t *testing.T) {
+	// Small k and d: Level 1 is feasible and has no duplication
+	// overhead, so it should win.
+	cfg := Config{Spec: machine.MustSpec(1), K: 16}
+	plan, err := ChooseLevel(cfg, 10000, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Level != Level1 {
+		t.Errorf("chose %v, want Level1", plan.Level)
+	}
+}
+
+func TestChooseLevelLargeK(t *testing.T) {
+	// k beyond C3: Level 1 infeasible; Level 2 hosts it.
+	cfg := Config{Spec: machine.MustSpec(1), K: 8192}
+	plan, err := ChooseLevel(cfg, 100000, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Level == Level1 {
+		t.Errorf("chose infeasible Level1")
+	}
+}
+
+func TestChooseLevelHighDim(t *testing.T) {
+	// The headline shape: only Level 3 is feasible.
+	cfg := Config{Spec: machine.MustSpec(4096), K: 2000}
+	plan, err := ChooseLevel(cfg, 1265723, 196608)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Level != Level3 {
+		t.Errorf("chose %v, want Level3", plan.Level)
+	}
+}
+
+func TestChooseLevelNothingFeasible(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(1), K: 100}
+	if _, err := ChooseLevel(cfg, 10, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestRunWithLevelAuto(t *testing.T) {
+	g := mixture(t, 300, 8, 4)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: LevelAuto, K: 4, MaxIters: 10, Seed: 1}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Level < Level1 || res.Plan.Level > Level3 {
+		t.Errorf("auto run resolved to %v", res.Plan.Level)
+	}
+	ref, err := Lloyd(g, 4, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Assign {
+		if res.Assign[i] != ref.Assign[i] {
+			t.Fatalf("auto level diverges from Lloyd at %d", i)
+		}
+	}
+}
+
+func TestChooseLevelMatchesFigure7Regimes(t *testing.T) {
+	// The Figure 7 axis: at k=2,000 on 128 nodes, small d should pick
+	// Level 2 (or 1) and large d must pick Level 3.
+	cfg := Config{Spec: machine.MustSpec(128), K: 2000}
+	small, err := ChooseLevel(cfg, 1265723, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Level == Level3 {
+		t.Errorf("d=512 chose %v", small.Level)
+	}
+	large, err := ChooseLevel(cfg, 1265723, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Level != Level3 {
+		t.Errorf("d=8192 chose %v, want Level3", large.Level)
+	}
+}

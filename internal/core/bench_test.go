@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+)
+
+// BenchmarkArgminDistance measures the distance kernel at the Level-1
+// working-set shape (all centroids resident).
+func BenchmarkArgminDistance(b *testing.B) {
+	const k, d = 64, 128
+	cents := make([]float64, k*d)
+	x := make([]float64, d)
+	for i := range cents {
+		cents[i] = float64(i % 17)
+	}
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.SetBytes(int64(k * d * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		argminDistance(x, cents, d)
+	}
+}
+
+// BenchmarkLloydIteration measures a full sequential baseline
+// iteration on a small mixture.
+func BenchmarkLloydIteration(b *testing.B) {
+	g, err := dataset.NewGaussianMixture("bench", 2048, 32, 8, 0.2, 2.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lloyd(g, 8, 1, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLevel3Iteration measures one functional Level-3 iteration
+// on the simulated machine (8 CGs, dimension-striped).
+func BenchmarkLevel3Iteration(b *testing.B) {
+	g, err := dataset.NewGaussianMixture("bench", 2048, 256, 8, 0.2, 2.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := machine.MustSpec(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Spec: spec, Level: Level3, K: 8, MaxIters: 1, Seed: 1}, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/ldm"
+	"repro/internal/trace"
+)
+
+// chargeCost applies a local per-iteration cost to a rank's clock and
+// trace counters.
+func chargeCost(c costmodel.Cost, clock interface{ Advance(float64) }, stats *trace.Stats) {
+	clock.Advance(c.Seconds())
+	stats.AddDMA(c.DMAElems * ldm.ElemBytes)
+	stats.AddReg(c.RegElems * ldm.ElemBytes)
+	stats.AddFlops(c.Flops)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// TestRunsAreFullyDeterministic: repeated runs of the same
+// configuration must produce bitwise-identical results AND identical
+// simulated times, regardless of goroutine scheduling — the virtual
+// clocks advance from the communication structure, not from host
+// timing. This is the property that makes the simulator's measurements
+// reproducible.
+func TestRunsAreFullyDeterministic(t *testing.T) {
+	g := mixture(t, 500, 16, 4)
+	runOnce := func() *Result {
+		res, err := Run(Config{
+			Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 2,
+			MaxIters: 6, Seed: 3, Stats: trace.NewStats(), TrackObjective: true,
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := runOnce()
+	for trial := 0; trial < 3; trial++ {
+		b := runOnce()
+		if b.Iters != a.Iters || b.Converged != a.Converged {
+			t.Fatalf("trial %d: iteration count differs", trial)
+		}
+		for i := range a.Assign {
+			if b.Assign[i] != a.Assign[i] {
+				t.Fatalf("trial %d: assignment differs at %d", trial, i)
+			}
+		}
+		for i := range a.Centroids {
+			if b.Centroids[i] != a.Centroids[i] {
+				t.Fatalf("trial %d: centroid bit-difference at %d", trial, i)
+			}
+		}
+		for i := range a.IterTimes {
+			if b.IterTimes[i] != a.IterTimes[i] {
+				t.Fatalf("trial %d: simulated time differs at iteration %d: %g vs %g",
+					trial, i, b.IterTimes[i], a.IterTimes[i])
+			}
+		}
+		for i := range a.Objectives {
+			if b.Objectives[i] != a.Objectives[i] {
+				t.Fatalf("trial %d: objective differs at iteration %d", trial, i)
+			}
+		}
+		if b.Traffic != a.Traffic {
+			t.Fatalf("trial %d: traffic differs: %+v vs %+v", trial, b.Traffic, a.Traffic)
+		}
+	}
+}
+
+// TestDeterminismAcrossLevels12: the replicated engine too.
+func TestDeterminismAcrossLevels12(t *testing.T) {
+	g := mixture(t, 300, 8, 4)
+	for _, lv := range []Level{Level1, Level2} {
+		var first *Result
+		for trial := 0; trial < 2; trial++ {
+			res, err := Run(Config{Spec: machine.MustSpec(2), Level: lv, K: 4, MaxIters: 5, Seed: 1}, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == nil {
+				first = res
+				continue
+			}
+			for i := range first.IterTimes {
+				if res.IterTimes[i] != first.IterTimes[i] {
+					t.Fatalf("%v: simulated time nondeterministic at iteration %d", lv, i)
+				}
+			}
+		}
+	}
+}

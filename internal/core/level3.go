@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/mpi"
+)
+
+// runLevel3 executes Algorithm 3: the nkd-partition. Ranks are core
+// groups; mPrime consecutive ranks form a CG group that partitions the
+// centroid set (consecutive ranks share a node/supernode, so a CG
+// group stays physically compact, as Section III.C recommends); the
+// dataflow is partitioned across CG groups; and inside each CG the 64
+// CPEs stripe the dimensions, which the cost model accounts for.
+//
+// Per sample batch, every CG computes partial assignments against its
+// own centroid slice and the group's min-reduce (a(i) = min a(i)')
+// runs over MPI. The Update step combines slice sums across CG groups
+// in per-slice communicators.
+func runLevel3(cfg Config, src dataset.Source, plan Plan) (*Result, error) {
+	n, d, k := src.N(), src.D(), cfg.K
+	mPrime, groups := plan.MPrimeGroup, plan.Groups
+	world, err := mpi.NewWorld(cfg.Spec, cfg.Stats, plan.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	init, err := initialCentroids(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{K: k, D: d, Assign: assign, Plan: plan}
+	var iterTimes []float64
+	var phases []Phase
+	var objectives []float64
+	finalCents := make([]float64, k*d)
+	slices := make([][]float64, mPrime) // filled by group-0 ranks
+
+	runErr := world.Run(func(c *mpi.Comm) error {
+		group := c.Rank() / mPrime
+		pos := c.Rank() % mPrime
+		groupComm, err := c.Split(group, pos)
+		if err != nil {
+			return err
+		}
+		posComm, err := c.Split(pos+groups, group) // offset colors past group colors
+		if err != nil {
+			return err
+		}
+		if groupComm.Size() != mPrime || posComm.Size() != groups {
+			return fmt.Errorf("level3: split sizes %d/%d, want %d/%d",
+				groupComm.Size(), posComm.Size(), mPrime, groups)
+		}
+
+		kLo, kHi := shareRange(k, mPrime, pos)
+		kLocal := kHi - kLo
+		cents := append([]float64(nil), init[kLo*d:kHi*d]...)
+		sums := make([]float64, kLocal*d)
+		counts := make([]int64, kLocal)
+
+		lo, hi := shareRange(n, groups, group)
+		nGroup := hi - lo
+		buf := make([]float64, d)
+		batch := cfg.BatchSamples
+		idxs := make([]int, 0, batch)
+		vals := make([]float64, batch)
+		ids := make([]int64, batch)
+		prevT := c.Clock().Now()
+
+		iters, converged := 0, false
+		for iter := 0; iter < cfg.MaxIters; iter++ {
+			for i := range sums {
+				sums[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+
+			// Assign step in batches: local partial argmin against the
+			// slice, then the group's min-reduce over MPI.
+			localObj := 0.0
+			localCnt := int64(0)
+			for start := lo; start < hi; start += batch * cfg.SampleStride {
+				idxs = idxs[:0]
+				for i := start; i < hi && len(idxs) < batch; i += cfg.SampleStride {
+					idxs = append(idxs, i)
+				}
+				b := len(idxs)
+				for bi, i := range idxs {
+					if kLocal == 0 {
+						vals[bi] = math.Inf(1)
+						ids[bi] = int64(k)
+						continue
+					}
+					src.Sample(i, buf)
+					j, dist := argminDistance(buf, cents, d)
+					vals[bi] = dist
+					ids[bi] = int64(kLo + j)
+				}
+				if err := groupComm.AllReduceMinPairs(vals[:b], ids[:b]); err != nil {
+					return err
+				}
+				for bi, i := range idxs {
+					w := int(ids[bi])
+					if w < 0 || w >= k {
+						return fmt.Errorf("level3: sample %d reduced to invalid centroid %d", i, w)
+					}
+					if pos == 0 {
+						assign[i] = w
+						localObj += vals[bi]
+						localCnt++
+					}
+					if w >= kLo && w < kHi {
+						src.Sample(i, buf)
+						row := sums[(w-kLo)*d : (w-kLo+1)*d]
+						for u := 0; u < d; u++ {
+							row[u] += buf[u]
+						}
+						counts[w-kLo]++
+					}
+				}
+			}
+			ic := costmodel.Level3(cfg.Spec, nGroup, k, d, mPrime, batch, plan.Tiled)
+			chargeCost(ic, c.Clock(), cfg.Stats)
+
+			// Update step: combine the slice sums across CG groups
+			// (ring algorithm for large slice volumes).
+			if err := posComm.AllReduceSumAuto(sums, counts); err != nil {
+				return err
+			}
+			if cfg.TrackObjective {
+				obj := []float64{localObj}
+				cnt := []int64{localCnt}
+				if err := c.AllReduceSum(obj, cnt); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					objectives = append(objectives, obj[0]/float64(cnt[0]))
+				}
+			}
+			movement := applyUpdate(cents, sums, counts, d)
+			iters++
+
+			// Convergence is a global property of all slices: sum the
+			// per-slice movements across the world. Every group carries
+			// an identical copy of each slice's movement, so the world
+			// sum over-counts by exactly the group count.
+			mv := []float64{movement}
+			if err := c.AllReduceSum(mv, nil); err != nil {
+				return err
+			}
+			total := mv[0] / float64(groups)
+
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				it := c.Clock().Now() - prevT
+				iterTimes = append(iterTimes, it)
+				other := it - ic.Seconds()
+				if other < 0 {
+					other = 0
+				}
+				phases = append(phases, Phase{
+					Read:    ic.ReadSeconds,
+					Compute: ic.ComputeSeconds,
+					Reg:     ic.RegSeconds,
+					Other:   other,
+				})
+			}
+			prevT = c.Clock().Now()
+
+			if total <= cfg.Tolerance*cfg.Tolerance {
+				converged = true
+				break
+			}
+		}
+
+		// Group 0 deposits its slices for assembly; ranks of group 0
+		// are world ranks 0..mPrime-1, writing disjoint entries.
+		if group == 0 {
+			slices[pos] = cents
+		}
+		if c.Rank() == 0 {
+			res.Iters = iters
+			res.Converged = converged
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("core: level3 engine: %w", runErr)
+	}
+	for pos := 0; pos < mPrime; pos++ {
+		kLo, _ := shareRange(k, mPrime, pos)
+		copy(finalCents[kLo*d:], slices[pos])
+	}
+	res.Centroids = finalCents
+	res.IterTimes = iterTimes
+	res.Phases = phases
+	res.Objectives = objectives
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/quality"
+)
+
+func TestMiniBatchModeValidation(t *testing.T) {
+	g := mixture(t, 100, 4, 2)
+	if _, err := Run(Config{Spec: machine.MustSpec(1), Level: Level3, K: 2, MiniBatch: 16}, g); err == nil {
+		t.Error("mini-batch at Level 3 accepted")
+	}
+	if _, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MiniBatch: 16, SampleStride: 2}, g); err == nil {
+		t.Error("mini-batch with striding accepted")
+	}
+	if _, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MiniBatch: -1}, g); err == nil {
+		t.Error("negative mini-batch accepted")
+	}
+}
+
+func TestMiniBatchModeQualityAndCost(t *testing.T) {
+	// One rank so the full pass is compute-heavy enough that fixed
+	// collective latencies do not mask the mini-batch advantage.
+	g := mixture(t, 2000, 64, 5)
+	full, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 5, MaxIters: 2,
+		Init: InitKMeansPlusPlus, Seed: 3, Ranks: 1,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 5, MaxIters: 30,
+		Init: InitKMeansPlusPlus, Seed: 3, MiniBatch: 64, Tolerance: 1e-3, Ranks: 1,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mini-batch iteration must be substantially cheaper in simulated
+	// time. The Update step's k·d allreduce is batch-independent, so it
+	// floors the saving — the assign-side work shrinks ~30x but the
+	// whole iteration lands around the reduce floor.
+	if mb.IterTimes[0] >= full.IterTimes[0]/2 {
+		t.Errorf("mini-batch iteration %g s vs full %g s — not cheaper", mb.IterTimes[0], full.IterTimes[0])
+	}
+	// And the clustering still recovers the separable mixture: the
+	// rotating batches cover the whole range over the iterations.
+	truth := make([]int, g.N())
+	for i := range truth {
+		truth[i] = g.TrueLabel(i)
+	}
+	// Score only processed samples (assignments filled as batches
+	// rotate; with 30 iters x 32 x 4 ranks they cover most of n).
+	var pred, tr []int
+	for i, a := range mb.Assign {
+		if a >= 0 {
+			pred = append(pred, a)
+			tr = append(tr, truth[i])
+		}
+	}
+	if len(pred) < g.N()/2 {
+		t.Fatalf("only %d of %d samples touched", len(pred), g.N())
+	}
+	ari, err := quality.ARI(pred, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Errorf("mini-batch ARI = %g on separable data", ari)
+	}
+}
+
+func TestMiniBatchDeterministic(t *testing.T) {
+	g := mixture(t, 500, 6, 3)
+	runOnce := func() *Result {
+		res, err := Run(Config{
+			Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 10,
+			Seed: 5, MiniBatch: 16,
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("mini-batch mode not deterministic")
+		}
+	}
+	for i := range a.IterTimes {
+		if a.IterTimes[i] != b.IterTimes[i] {
+			t.Fatal("mini-batch simulated time not deterministic")
+		}
+	}
+}
+
+func TestMiniBatchLevel2(t *testing.T) {
+	g := mixture(t, 800, 8, 4)
+	res, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level2, K: 4, MaxIters: 20,
+		Seed: 2, MiniBatch: 64, MGroup: 4,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 20 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+	for _, it := range res.IterTimes {
+		if it <= 0 {
+			t.Error("non-positive iteration time")
+		}
+	}
+}

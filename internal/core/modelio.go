@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Centroid model files use a small self-describing binary format:
+// magic, version, k, d as little-endian uint32 followed by k·d
+// float64 values.
+const (
+	modelMagic   = 0x53574b4d // "SWKM"
+	modelVersion = 1
+)
+
+// SaveCentroids writes a k-by-d centroid matrix in the binary model
+// format.
+func SaveCentroids(w io.Writer, cents []float64, k, d int) error {
+	if k < 1 || d < 1 || len(cents) != k*d {
+		return fmt.Errorf("core: centroid matrix %d does not match k=%d d=%d", len(cents), k, d)
+	}
+	hdr := []uint32{modelMagic, modelVersion, uint32(k), uint32(d)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("core: writing model header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, cents); err != nil {
+		return fmt.Errorf("core: writing model payload: %w", err)
+	}
+	return nil
+}
+
+// LoadCentroids reads a centroid matrix written by SaveCentroids.
+func LoadCentroids(r io.Reader) (cents []float64, k, d int, err error) {
+	var hdr [4]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading model header: %w", err)
+	}
+	if hdr[0] != modelMagic {
+		return nil, 0, 0, fmt.Errorf("core: not a centroid model file (magic %#x)", hdr[0])
+	}
+	if hdr[1] != modelVersion {
+		return nil, 0, 0, fmt.Errorf("core: unsupported model version %d", hdr[1])
+	}
+	k, d = int(hdr[2]), int(hdr[3])
+	if k < 1 || d < 1 || k > 1<<28 || d > 1<<28 {
+		return nil, 0, 0, fmt.Errorf("core: implausible model shape %dx%d", k, d)
+	}
+	cents = make([]float64, k*d)
+	if err := binary.Read(r, binary.LittleEndian, cents); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading model payload: %w", err)
+	}
+	return cents, k, d, nil
+}
+
+// Summary is the JSON-friendly digest of a Result, for harness logs
+// and downstream plotting.
+type Summary struct {
+	Level       string    `json:"level"`
+	Plan        string    `json:"plan"`
+	K           int       `json:"k"`
+	D           int       `json:"d"`
+	N           int       `json:"n"`
+	Iters       int       `json:"iters"`
+	Converged   bool      `json:"converged"`
+	MeanIterSec float64   `json:"mean_iter_seconds"`
+	IterSec     []float64 `json:"iter_seconds"`
+	DMABytes    int64     `json:"dma_bytes"`
+	RegBytes    int64     `json:"reg_bytes"`
+	NetBytes    int64     `json:"net_bytes"`
+	Flops       int64     `json:"flops"`
+}
+
+// WriteSummary emits the result digest as indented JSON.
+func (r *Result) WriteSummary(w io.Writer) error {
+	s := Summary{
+		Level:       r.Plan.Level.String(),
+		Plan:        r.Plan.String(),
+		K:           r.K,
+		D:           r.D,
+		N:           r.Plan.N,
+		Iters:       r.Iters,
+		Converged:   r.Converged,
+		MeanIterSec: r.MeanIterTime(),
+		IterSec:     r.IterTimes,
+		DMABytes:    r.Traffic.DMABytes,
+		RegBytes:    r.Traffic.RegBytes,
+		NetBytes:    r.Traffic.NetBytes,
+		Flops:       r.Traffic.Flops,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

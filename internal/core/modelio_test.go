@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+func TestSaveLoadCentroids(t *testing.T) {
+	cents := []float64{1.5, -2.25, 3.125, 0, 42, -1e-9}
+	var buf bytes.Buffer
+	if err := SaveCentroids(&buf, cents, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, k, d, err := LoadCentroids(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || d != 3 {
+		t.Fatalf("shape %dx%d", k, d)
+	}
+	for i := range cents {
+		if got[i] != cents[i] {
+			t.Fatalf("element %d = %g, want %g", i, got[i], cents[i])
+		}
+	}
+}
+
+func TestSaveCentroidsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveCentroids(&buf, []float64{1, 2, 3}, 2, 2); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := SaveCentroids(&buf, nil, 0, 0); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestLoadCentroidsRejectsGarbage(t *testing.T) {
+	if _, _, _, err := LoadCentroids(strings.NewReader("not a model")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Wrong magic.
+	var buf bytes.Buffer
+	buf.Write([]byte{1, 2, 3, 4, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0})
+	if _, _, _, err := LoadCentroids(&buf); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	// Valid header, truncated payload.
+	buf.Reset()
+	if err := SaveCentroids(&buf, []float64{1, 2}, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	truncated := bytes.NewReader(buf.Bytes()[:buf.Len()-4])
+	if _, _, _, err := LoadCentroids(truncated); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	g := mixture(t, 100, 4, 2)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 3, Seed: 1, Stats: trace.NewStats()}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if s.K != 2 || s.D != 4 || s.N != 100 {
+		t.Errorf("summary shape: %+v", s)
+	}
+	if s.MeanIterSec <= 0 || len(s.IterSec) != s.Iters {
+		t.Errorf("summary timing: %+v", s)
+	}
+	if s.DMABytes == 0 || s.Flops == 0 {
+		t.Errorf("summary traffic: %+v", s)
+	}
+}
+
+func TestModelRoundTripThroughRun(t *testing.T) {
+	// Save a trained model, load it, and verify assignments computed
+	// from the loaded centroids match the original run.
+	g := mixture(t, 200, 6, 3)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 20, Seed: 2}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCentroids(&buf, res.Centroids, res.K, res.D); err != nil {
+		t.Fatal(err)
+	}
+	cents, k, d, err := LoadCentroids(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 || d != 6 {
+		t.Fatalf("shape %dx%d", k, d)
+	}
+	x := make([]float64, d)
+	for i := 0; i < g.N(); i++ {
+		g.Sample(i, x)
+		j, _ := argminDistance(x, cents, d)
+		if j != res.Assign[i] {
+			t.Fatalf("loaded model assigns sample %d to %d, original %d", i, j, res.Assign[i])
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ldm"
+	"repro/internal/machine"
+)
+
+// Plan is a validated partition plan: how the dataflow, the centroid
+// set and the dimensions map onto the machine for one run.
+type Plan struct {
+	// Level is the partition strategy.
+	Level Level
+	// Ranks is the number of core-group ranks participating.
+	Ranks int
+	// MGroup is the Level-2 CPE group size (1 for other levels).
+	MGroup int
+	// MPrimeGroup is the Level-3 CG group size (1 for other levels).
+	MPrimeGroup int
+	// Groups is the number of dataflow partitions: ranks for Levels 1
+	// and 2, CG groups for Level 3.
+	Groups int
+	// KLocalMax is the largest per-unit centroid share.
+	KLocalMax int
+	// DStripe is the per-CPE dimension stripe at Level 3 (d for the
+	// other levels, where a CPE holds whole samples).
+	DStripe int
+	// Tiled reports that the Level-3 centroid stripes exceed the LDM
+	// residency budget at this group size and re-stream from CG DRAM
+	// (the regime the paper's smallest Figure-9 configurations run in).
+	Tiled bool
+	// N, K, D echo the problem shape the plan was made for.
+	N, K, D int
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (p Plan) String() string {
+	switch p.Level {
+	case Level2:
+		return fmt.Sprintf("%v ranks=%d mgroup=%d kLocal<=%d", p.Level, p.Ranks, p.MGroup, p.KLocalMax)
+	case Level3:
+		return fmt.Sprintf("%v ranks=%d m'group=%d groups=%d kLocal<=%d dStripe=%d",
+			p.Level, p.Ranks, p.MPrimeGroup, p.Groups, p.KLocalMax, p.DStripe)
+	default:
+		return fmt.Sprintf("%v ranks=%d", p.Level, p.Ranks)
+	}
+}
+
+// PlanFor validates the configuration against the machine's capacity
+// constraints and chooses the partition parameters the way Section III
+// describes: Level 2 picks the smallest power-of-two CPE group that
+// satisfies C′, Level 3 the smallest power-of-two CG group satisfying
+// C″ (so a CG group stays inside one supernode whenever it can).
+func PlanFor(cfg Config, n, d int) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Plan{}, err
+	}
+	if n < 1 || d < 1 {
+		return Plan{}, fmt.Errorf("core: dataset shape must be positive, got n=%d d=%d", n, d)
+	}
+	if cfg.K > n {
+		return Plan{}, fmt.Errorf("core: k=%d exceeds n=%d", cfg.K, n)
+	}
+	spec, k := cfg.Spec, cfg.K
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = spec.CGs()
+	}
+	if ranks < 1 || ranks > spec.CGs() {
+		return Plan{}, fmt.Errorf("core: ranks must be in [1,%d], got %d", spec.CGs(), ranks)
+	}
+
+	switch cfg.Level {
+	case Level1:
+		if err := ldm.CheckLevel1(spec, k, d); err != nil {
+			return Plan{}, err
+		}
+		ranks = min(ranks, max(1, n))
+		return Plan{
+			Level: Level1, Ranks: ranks, MGroup: 1, MPrimeGroup: 1,
+			Groups: ranks, KLocalMax: k, DStripe: d, N: n, K: k, D: d,
+		}, nil
+
+	case Level2:
+		mgroup := cfg.MGroup
+		if mgroup == 0 {
+			// Smallest power-of-two CPE group satisfying the Level-2
+			// constraints; dividing the 64-CPE mesh evenly.
+			for m := 1; m <= machine.CPEsPerCG; m *= 2 {
+				if ldm.CheckLevel2(spec, k, d, m) == nil {
+					mgroup = m
+					break
+				}
+			}
+			if mgroup == 0 {
+				// Report the most permissive group's failure.
+				return Plan{}, ldm.CheckLevel2(spec, k, d, machine.CPEsPerCG)
+			}
+		} else {
+			if machine.CPEsPerCG%mgroup != 0 {
+				return Plan{}, fmt.Errorf("core: mgroup %d must divide %d", mgroup, machine.CPEsPerCG)
+			}
+			if err := ldm.CheckLevel2(spec, k, d, mgroup); err != nil {
+				return Plan{}, err
+			}
+		}
+		return Plan{
+			Level: Level2, Ranks: ranks, MGroup: mgroup, MPrimeGroup: 1,
+			Groups: ranks, KLocalMax: ceilDiv(k, mgroup), DStripe: d, N: n, K: k, D: d,
+		}, nil
+
+	case Level3:
+		mPrime := cfg.MPrimeGroup
+		tiled := false
+		if mPrime == 0 {
+			for m := 1; m <= ranks; m *= 2 {
+				if ldm.CheckLevel3(spec, k, d, m) == nil {
+					mPrime = m
+					break
+				}
+			}
+			if mPrime == 0 {
+				// No resident plan fits the deployment: fall back to
+				// tiling the centroid stripes through CG DRAM with the
+				// largest group the deployment can host — the regime
+				// the paper's smallest Figure-9 configurations run in.
+				m := largestPow2AtMost(ranks)
+				if err := ldm.CheckLevel3Tiled(spec, k, d, m); err != nil {
+					return Plan{}, err
+				}
+				mPrime, tiled = m, true
+			}
+		} else {
+			if mPrime < 1 || mPrime > ranks {
+				return Plan{}, fmt.Errorf("core: m'group must be in [1,%d], got %d", ranks, mPrime)
+			}
+			if err := ldm.CheckLevel3(spec, k, d, mPrime); err != nil {
+				if err := ldm.CheckLevel3Tiled(spec, k, d, mPrime); err != nil {
+					return Plan{}, err
+				}
+				tiled = true
+			}
+		}
+		groups := ranks / mPrime
+		if groups < 1 {
+			return Plan{}, fmt.Errorf("core: %d ranks cannot host a CG group of %d", ranks, mPrime)
+		}
+		used := groups * mPrime // leftover CGs idle
+		return Plan{
+			Level: Level3, Ranks: used, MGroup: 1, MPrimeGroup: mPrime,
+			Groups: groups, KLocalMax: ceilDiv(k, mPrime),
+			DStripe: ceilDiv(d, machine.CPEsPerCG), N: n, K: k, D: d,
+			Tiled: tiled,
+		}, nil
+	}
+	return Plan{}, fmt.Errorf("core: unknown level %v", cfg.Level)
+}
+
+func largestPow2AtMost(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

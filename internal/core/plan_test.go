@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestPlanLevel1(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(1), Level: Level1, K: 64}
+	p, err := PlanFor(cfg, 10000, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level != Level1 || p.Ranks != 4 || p.Groups != 4 || p.KLocalMax != 64 || p.DStripe != 28 {
+		t.Errorf("plan = %+v", p)
+	}
+	// Infeasible k at Level 1.
+	cfg.K = 8192
+	if _, err := PlanFor(cfg, 100000, 28); err == nil {
+		t.Error("k=8192 d=28 must violate C1")
+	}
+}
+
+func TestPlanLevel1CapsRanksAtN(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(4), Level: Level1, K: 2}
+	p, err := PlanFor(cfg, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranks != 3 {
+		t.Errorf("Ranks = %d, want 3 (capped at n)", p.Ranks)
+	}
+}
+
+func TestPlanLevel2AutoMGroup(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(64), Level: Level2, K: 8192}
+	p, err := PlanFor(cfg, 100000, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C'3 needs 3*8192+1 <= mgroup*16384 -> mgroup >= 2.
+	if p.MGroup < 2 {
+		t.Errorf("MGroup = %d, want >= 2", p.MGroup)
+	}
+	if p.KLocalMax != ceilDiv(8192, p.MGroup) {
+		t.Errorf("KLocalMax = %d", p.KLocalMax)
+	}
+	// Small k fits a single CPE.
+	cfg.K = 16
+	p, err = PlanFor(cfg, 1000, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MGroup != 1 {
+		t.Errorf("MGroup = %d, want 1 for tiny k", p.MGroup)
+	}
+}
+
+func TestPlanLevel2ExplicitMGroup(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(1), Level: Level2, K: 64, MGroup: 16}
+	p, err := PlanFor(cfg, 1000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MGroup != 16 {
+		t.Errorf("MGroup = %d, want 16", p.MGroup)
+	}
+	cfg.MGroup = 3 // does not divide 64
+	if _, err := PlanFor(cfg, 1000, 32); err == nil {
+		t.Error("mgroup=3 accepted")
+	}
+}
+
+func TestPlanLevel2DimensionLimit(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(128), Level: Level2, K: 2000}
+	if _, err := PlanFor(cfg, 100000, 4096); err != nil {
+		t.Errorf("d=4096 must plan: %v", err)
+	}
+	if _, err := PlanFor(cfg, 100000, 4608); err == nil {
+		t.Error("d=4608 must be infeasible at Level 2 (Figure 7)")
+	}
+}
+
+func TestPlanLevel3AutoGroup(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(4096), Level: Level3, K: 2000}
+	p, err := PlanFor(cfg, 1265723, 196608)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MPrimeGroup < 751 {
+		t.Errorf("MPrimeGroup = %d, want >= 751 for the headline shape", p.MPrimeGroup)
+	}
+	if p.MPrimeGroup&(p.MPrimeGroup-1) != 0 {
+		t.Errorf("MPrimeGroup = %d, want power of two", p.MPrimeGroup)
+	}
+	if p.Groups*p.MPrimeGroup != p.Ranks {
+		t.Errorf("groups %d x m' %d != ranks %d", p.Groups, p.MPrimeGroup, p.Ranks)
+	}
+	if p.DStripe != 196608/64 {
+		t.Errorf("DStripe = %d", p.DStripe)
+	}
+}
+
+func TestPlanLevel3Explicit(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4}
+	p, err := PlanFor(cfg, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MPrimeGroup != 4 || p.Groups != 2 || p.Ranks != 8 {
+		t.Errorf("plan = %+v", p)
+	}
+	cfg.MPrimeGroup = 100
+	if _, err := PlanFor(cfg, 100, 64); err == nil {
+		t.Error("m'group beyond ranks accepted")
+	}
+}
+
+func TestPlanLevel3LeftoverRanksIdle(t *testing.T) {
+	// 3 nodes = 12 CGs with m'group 8: one group, 4 idle CGs.
+	cfg := Config{Spec: machine.MustSpec(3), Level: Level3, K: 8, MPrimeGroup: 8}
+	p, err := PlanFor(cfg, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Groups != 1 || p.Ranks != 8 {
+		t.Errorf("plan = %+v", p)
+	}
+}
+
+func TestPlanRejectsBadShapes(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(1), Level: Level1, K: 4}
+	if _, err := PlanFor(cfg, 0, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PlanFor(cfg, 10, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := PlanFor(cfg, 3, 4); err == nil {
+		t.Error("k>n accepted")
+	}
+	cfg.Ranks = 1000
+	if _, err := PlanFor(cfg, 10, 4); err == nil {
+		t.Error("ranks beyond CGs accepted")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	specs := []struct {
+		plan Plan
+		want string
+	}{
+		{Plan{Level: Level1, Ranks: 4}, "level1"},
+		{Plan{Level: Level2, Ranks: 4, MGroup: 8}, "mgroup=8"},
+		{Plan{Level: Level3, Ranks: 8, MPrimeGroup: 4, Groups: 2}, "m'group=4"},
+	}
+	for _, s := range specs {
+		if got := s.plan.String(); !strings.Contains(got, s.want) {
+			t.Errorf("String() = %q, missing %q", got, s.want)
+		}
+	}
+}
+
+func TestLargestPow2AtMost(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 2}, {64, 64}, {100, 64}} {
+		if got := largestPow2AtMost(c.in); got != c.want {
+			t.Errorf("largestPow2AtMost(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+)
+
+// TestEnginesMatchLloydOnRandomShapes fuzzes problem shapes and
+// machine sizes: every feasible configuration must reproduce
+// sequential Lloyd.
+func TestEnginesMatchLloydOnRandomShapes(t *testing.T) {
+	f := func(nRaw, dRaw, kRaw, nodesRaw uint8, levelRaw uint8, seed uint16) bool {
+		n := int(nRaw)%180 + 20
+		d := int(dRaw)%24 + 1
+		k := int(kRaw)%8 + 1
+		if k > n {
+			k = n
+		}
+		nodes := int(nodesRaw)%2 + 1
+		level := Level(int(levelRaw)%3 + 1)
+		g, err := dataset.NewGaussianMixture("prop", n, d, min(4, n), 0.1, 2.0, uint64(seed)+1)
+		if err != nil {
+			t.Logf("mixture: %v", err)
+			return false
+		}
+		cfg := Config{
+			Spec: machine.MustSpec(nodes), Level: level, K: k,
+			MaxIters: 5, Seed: uint64(seed),
+		}
+		res, err := Run(cfg, g)
+		if err != nil {
+			// Shapes can legitimately violate constraints; only a
+			// missing plan is acceptable as failure.
+			return true
+		}
+		ref, err := Lloyd(g, k, 5, 0, uint64(seed))
+		if err != nil {
+			t.Logf("lloyd: %v", err)
+			return false
+		}
+		if res.Iters != ref.Iters {
+			t.Logf("n=%d d=%d k=%d %v: iters %d vs %d", n, d, k, level, res.Iters, ref.Iters)
+			return false
+		}
+		for i := range ref.Assign {
+			if res.Assign[i] != ref.Assign[i] {
+				t.Logf("n=%d d=%d k=%d %v: sample %d assigned %d vs %d",
+					n, d, k, level, i, res.Assign[i], ref.Assign[i])
+				return false
+			}
+		}
+		for i := range ref.Centroids {
+			diff := math.Abs(res.Centroids[i] - ref.Centroids[i])
+			if diff/math.Max(1, math.Abs(ref.Centroids[i])) > 1e-9 {
+				t.Logf("n=%d d=%d k=%d %v: centroid drift %g", n, d, k, level, diff)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyClusterPolicy: a far-away initial centroid attracts nothing
+// and must stay exactly where it started, at every level.
+func TestEmptyClusterPolicy(t *testing.T) {
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{float64(i%5) * 0.01, float64(i%7) * 0.01}
+	}
+	m, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := []float64{
+		0, 0, // near the data
+		1e6, 1e6, // unreachable: stays empty forever
+	}
+	for _, level := range []Level{Level1, Level2, Level3} {
+		res, err := Run(Config{
+			Spec: machine.MustSpec(1), Level: level, K: 2, MaxIters: 10,
+			Initial: initial,
+		}, m)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if res.Centroid(1)[0] != 1e6 || res.Centroid(1)[1] != 1e6 {
+			t.Errorf("%v: empty centroid moved to %v", level, res.Centroid(1))
+		}
+		for i, a := range res.Assign {
+			if a != 0 {
+				t.Errorf("%v: sample %d assigned to the empty cluster", level, i)
+			}
+		}
+		if !res.Converged {
+			t.Errorf("%v: did not converge with a frozen empty cluster", level)
+		}
+	}
+}
+
+// TestImbalancedMixture: 90%% of the mass in one component still
+// recovers all components with k-means++ init.
+func TestImbalancedMixture(t *testing.T) {
+	// Build an imbalanced dataset from two mixtures.
+	big, err := dataset.NewGaussianMixture("big", 540, 6, 1, 0.1, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := dataset.NewGaussianMixture("small", 60, 6, 1, 0.1, 2.0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigM, err := dataset.Materialize(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallM, err := dataset.Materialize(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, 0, 600)
+	for i := 0; i < bigM.N(); i++ {
+		rows = append(rows, bigM.Row(i))
+	}
+	for i := 0; i < smallM.N(); i++ {
+		rows = append(rows, smallM.Row(i))
+	}
+	m, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level3, K: 2, MaxIters: 30,
+		Init: InitKMeansPlusPlus, Seed: 2,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minority component must own its own cluster: all of the last
+	// 60 samples share an assignment that none of the first 540 have...
+	// (component separation is >> noise, so this must hold exactly).
+	minor := res.Assign[540]
+	for i := 540; i < 600; i++ {
+		if res.Assign[i] != minor {
+			t.Fatalf("minority sample %d split off", i)
+		}
+	}
+	for i := 0; i < 540; i++ {
+		if res.Assign[i] == minor {
+			t.Fatalf("majority sample %d joined the minority cluster", i)
+		}
+	}
+}
+
+// TestSingleSamplePerRank exercises the n == ranks edge.
+func TestSingleSamplePerRank(t *testing.T) {
+	g := mixture(t, 4, 3, 2)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5, Seed: 1}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Ranks != 4 {
+		t.Errorf("Ranks = %d", res.Plan.Ranks)
+	}
+	ref, err := Lloyd(g, 2, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Assign {
+		if res.Assign[i] != ref.Assign[i] {
+			t.Fatal("tiny-n run diverges from Lloyd")
+		}
+	}
+}
+
+// TestKEqualsN: every sample its own cluster.
+func TestKEqualsN(t *testing.T) {
+	g := mixture(t, 12, 4, 2)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: Level3, K: 12, MaxIters: 5, Seed: 1, MPrimeGroup: 4}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		if seen[a] {
+			t.Fatalf("cluster %d reused with k=n", a)
+		}
+		seen[a] = true
+	}
+	if !res.Converged {
+		t.Error("k=n did not converge")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestObjectiveTrackingMatchesLloyd(t *testing.T) {
+	g := mixture(t, 300, 8, 4)
+	ref, err := Lloyd(g, 4, 20, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Objectives) != ref.Iters {
+		t.Fatalf("Lloyd objectives: %d entries for %d iters", len(ref.Objectives), ref.Iters)
+	}
+	for _, level := range []Level{Level1, Level2, Level3} {
+		cfg := Config{Spec: machine.MustSpec(1), Level: level, K: 4, MaxIters: 20, Seed: 3, TrackObjective: true}
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		if len(res.Objectives) != res.Iters {
+			t.Fatalf("%v: %d objectives for %d iters", level, len(res.Objectives), res.Iters)
+		}
+		for i := range ref.Objectives {
+			diff := math.Abs(res.Objectives[i] - ref.Objectives[i])
+			if diff/math.Max(1e-12, ref.Objectives[i]) > 1e-9 {
+				t.Fatalf("%v iter %d: objective %g, Lloyd %g", level, i, res.Objectives[i], ref.Objectives[i])
+			}
+		}
+	}
+}
+
+func TestObjectiveNonIncreasingAcrossEngines(t *testing.T) {
+	g := mixture(t, 400, 10, 5)
+	for _, level := range []Level{Level1, Level3} {
+		cfg := Config{Spec: machine.MustSpec(1), Level: level, K: 5, MaxIters: 25, Seed: 7, TrackObjective: true}
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Objectives); i++ {
+			if res.Objectives[i] > res.Objectives[i-1]+1e-9 {
+				t.Errorf("%v: objective rose at iter %d: %g -> %g",
+					level, i, res.Objectives[i-1], res.Objectives[i])
+			}
+		}
+	}
+}
+
+func TestObjectiveTrackingOffByDefault(t *testing.T) {
+	g := mixture(t, 100, 4, 2)
+	res, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 3, Seed: 1}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objectives != nil {
+		t.Error("objectives computed without TrackObjective")
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	g := mixture(t, 400, 16, 4)
+	for _, level := range []Level{Level1, Level2, Level3} {
+		res, err := Run(Config{Spec: machine.MustSpec(1), Level: level, K: 4, MaxIters: 3, Seed: 1}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Phases) != res.Iters {
+			t.Fatalf("%v: %d phases for %d iters", level, len(res.Phases), res.Iters)
+		}
+		for i, p := range res.Phases {
+			if p.Read < 0 || p.Compute <= 0 || p.Reg < 0 || p.Other < 0 {
+				t.Errorf("%v iter %d: bad phase %+v", level, i, p)
+			}
+			sum := p.Read + p.Compute + p.Reg + p.Other
+			if math.Abs(sum-res.IterTimes[i])/res.IterTimes[i] > 1e-9 {
+				t.Errorf("%v iter %d: phases sum to %g, iteration took %g", level, i, sum, res.IterTimes[i])
+			}
+		}
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	g := mixture(t, 300, 6, 3)
+	// Converge once, then warm-start from the result: the warm run
+	// must converge immediately (one iteration, zero movement).
+	first, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 30, Seed: 2}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Converged {
+		t.Fatal("first run did not converge")
+	}
+	warm, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 30,
+		Initial: first.Centroids,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged || warm.Iters != 1 {
+		t.Errorf("warm start: iters=%d converged=%v, want 1/true", warm.Iters, warm.Converged)
+	}
+	for i := range first.Assign {
+		if warm.Assign[i] != first.Assign[i] {
+			t.Fatalf("warm start changed assignment at %d", i)
+		}
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	g := mixture(t, 50, 4, 2)
+	_, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5,
+		Initial: make([]float64, 5), // wrong size
+	}, g)
+	if err == nil {
+		t.Error("mis-sized warm-start matrix accepted")
+	}
+}
+
+func TestWarmStartAcrossLevels(t *testing.T) {
+	// A model trained at Level 1 warm-starts a Level 3 run on the same
+	// data and converges immediately: the partition level is purely an
+	// execution concern.
+	g := mixture(t, 240, 8, 4)
+	l1, err := Run(Config{Spec: machine.MustSpec(1), Level: Level1, K: 4, MaxIters: 30, Seed: 5}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l1.Converged {
+		t.Fatal("level 1 run did not converge")
+	}
+	// The two levels associate the centroid-sum reduction differently,
+	// so the fixed point is shared only to floating-point tolerance.
+	l3, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level3, K: 4, MaxIters: 30,
+		MPrimeGroup: 2, Initial: l1.Centroids, Tolerance: 1e-9,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l3.Converged || l3.Iters != 1 {
+		t.Errorf("cross-level warm start: iters=%d converged=%v", l3.Iters, l3.Converged)
+	}
+}

@@ -1,0 +1,32 @@
+package dataset
+
+import "testing"
+
+// BenchmarkMixtureSample measures on-the-fly sample generation at the
+// ImageNet feature width, the hot path of every functional engine run.
+func BenchmarkMixtureSample(b *testing.B) {
+	g, err := NewGaussianMixture("bench", 1<<20, 3072, 128, 0.2, 2.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, g.D())
+	b.SetBytes(int64(g.D() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Sample(i%g.N(), buf)
+	}
+}
+
+// BenchmarkLandCoverSample measures pixel-block feature generation.
+func BenchmarkLandCoverSample(b *testing.B) {
+	lc, err := NewLandCover(256, 256, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, lc.D())
+	b.SetBytes(int64(lc.D() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lc.Sample(i%lc.N(), buf)
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHardMixtureValidation(t *testing.T) {
+	cases := []struct {
+		n, d, comps                int
+		spread, sep, aniso, out, b float64
+	}{
+		{0, 2, 1, 0.1, 1, 1, 0, 1},
+		{10, 0, 1, 0.1, 1, 1, 0, 1},
+		{10, 2, 0, 0.1, 1, 1, 0, 1},
+		{10, 2, 11, 0.1, 1, 1, 0, 1},
+		{10, 2, 2, -1, 1, 1, 0, 1},
+		{10, 2, 2, 0.1, 0, 1, 0, 1},
+		{10, 2, 2, 0.1, 1, 0.5, 0, 1},
+		{10, 2, 2, 0.1, 1, 1, 0.6, 1},
+		{10, 2, 2, 0.1, 1, 1, 0, 0},
+		{10, 2, 2, 0.1, 1, 1, 0, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := NewHardMixture("x", c.n, c.d, c.comps, c.spread, c.sep, c.aniso, c.out, c.b, 1); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestHardMixtureLabelPartition(t *testing.T) {
+	h, err := NewHardMixture("h", 1000, 6, 4, 0.1, 2, 2, 0.1, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 6)
+	for i := 0; i < h.N(); i++ {
+		lbl := h.TrueLabel(i)
+		if lbl < 0 || lbl > 4 {
+			t.Fatalf("label %d out of range", lbl)
+		}
+		counts[lbl]++
+	}
+	// ~10% outliers.
+	if counts[4] < 80 || counts[4] > 120 {
+		t.Errorf("outlier count %d, want ~100", counts[4])
+	}
+	// Imbalance: each successive component roughly halves.
+	for c := 1; c < 4; c++ {
+		if counts[c] >= counts[c-1] {
+			t.Errorf("component %d (%d) not smaller than %d (%d)", c, counts[c], c-1, counts[c-1])
+		}
+		if counts[c] == 0 {
+			t.Errorf("component %d empty", c)
+		}
+	}
+}
+
+func TestHardMixtureAnisotropy(t *testing.T) {
+	h, err := NewHardMixture("h", 4000, 8, 1, 0.2, 2, 4, 0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := make([]float64, 8)
+	h.Center(0, centre)
+	// Empirical stddev of first vs last dimension: ratio ~4.
+	var s0, s7 float64
+	buf := make([]float64, 8)
+	for i := 0; i < h.N(); i++ {
+		h.Sample(i, buf)
+		d0 := buf[0] - centre[0]
+		d7 := buf[7] - centre[7]
+		s0 += d0 * d0
+		s7 += d7 * d7
+	}
+	ratio := math.Sqrt(s7 / s0)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("anisotropy ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestHardMixtureOutliersSpread(t *testing.T) {
+	h, err := NewHardMixture("h", 500, 4, 2, 0.05, 1, 1, 0.2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	sawFar := false
+	for i := 0; i < h.N(); i++ {
+		if h.TrueLabel(i) != h.Components() {
+			continue
+		}
+		h.Sample(i, buf)
+		for _, v := range buf {
+			if math.Abs(v) > 1.5 {
+				sawFar = true
+			}
+		}
+	}
+	if !sawFar {
+		t.Error("outliers never left the centre box")
+	}
+}
+
+func TestHardMixtureDeterministic(t *testing.T) {
+	h, _ := NewHardMixture("h", 100, 4, 2, 0.1, 1, 2, 0.1, 0.7, 7)
+	a := make([]float64, 4)
+	b := make([]float64, 4)
+	h.Sample(42, a)
+	h.Sample(42, b)
+	for u := range a {
+		if a[u] != b[u] {
+			t.Fatal("hard mixture not deterministic")
+		}
+	}
+}

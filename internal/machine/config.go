@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Preset names for well-known deployments.
+const (
+	// PresetFull is the complete Sunway TaihuLight: 40,960 nodes.
+	PresetFull = "taihulight"
+	// PresetHeadline is the paper's largest evaluated deployment:
+	// 4,096 nodes (1,064,496 cores).
+	PresetHeadline = "headline"
+	// PresetComparison is the Figure 7-9 deployment: 128 nodes.
+	PresetComparison = "comparison"
+	// PresetProcessor is one SW26010 processor (the Level-1 setup).
+	PresetProcessor = "processor"
+)
+
+// Preset returns a named deployment.
+func Preset(name string) (*Spec, error) {
+	switch name {
+	case PresetFull:
+		return NewSpec(40960)
+	case PresetHeadline:
+		return NewSpec(4096)
+	case PresetComparison:
+		return NewSpec(128)
+	case PresetProcessor:
+		return NewSpec(1)
+	default:
+		return nil, fmt.Errorf("machine: unknown preset %q (want %s, %s, %s or %s)",
+			name, PresetFull, PresetHeadline, PresetComparison, PresetProcessor)
+	}
+}
+
+// specJSON is the serialized form of a Spec.
+type specJSON struct {
+	Nodes          int        `json:"nodes"`
+	LDMBytesPerCPE int        `json:"ldm_bytes_per_cpe"`
+	DRAMBytesPerCG int64      `json:"dram_bytes_per_cg"`
+	BW             Bandwidths `json:"bandwidths"`
+	CPU            Compute    `json:"compute"`
+}
+
+// WriteJSON serializes the spec.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(specJSON{
+		Nodes:          s.Nodes,
+		LDMBytesPerCPE: s.LDMBytesPerCPE,
+		DRAMBytesPerCG: s.DRAMBytesPerCG,
+		BW:             s.BW,
+		CPU:            s.CPU,
+	})
+}
+
+// ReadJSON deserializes and validates a spec.
+func ReadJSON(r io.Reader) (*Spec, error) {
+	var sj specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("machine: decoding spec: %w", err)
+	}
+	s := &Spec{
+		Nodes:          sj.Nodes,
+		LDMBytesPerCPE: sj.LDMBytesPerCPE,
+		DRAMBytesPerCG: sj.DRAMBytesPerCG,
+		BW:             sj.BW,
+		CPU:            sj.CPU,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

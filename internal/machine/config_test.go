@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+	}{
+		{PresetFull, 40960},
+		{PresetHeadline, 4096},
+		{PresetComparison, 128},
+		{PresetProcessor, 1},
+	}
+	for _, c := range cases {
+		s, err := Preset(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if s.Nodes != c.nodes {
+			t.Errorf("%s: nodes = %d, want %d", c.name, s.Nodes, c.nodes)
+		}
+	}
+	if _, err := Preset("mystery"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := MustSpec(256)
+	s.BW.Network = 12e9 // customized value must survive
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != 256 || got.BW.Network != 12e9 || got.LDMBytesPerCPE != s.LDMBytesPerCPE {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.CPU.FlopsPerCPE != s.CPU.FlopsPerCPE {
+		t.Errorf("compute rate lost: %g", got.CPU.FlopsPerCPE)
+	}
+}
+
+func TestSpecJSONValidation(t *testing.T) {
+	// Writing an invalid spec fails.
+	bad := MustSpec(1)
+	bad.Nodes = 0
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err == nil {
+		t.Error("invalid spec serialized")
+	}
+	// Reading a corrupted document fails.
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes": 0}`)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes": 1, "surprise": 7}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package machine
+
+import "fmt"
+
+// Place locates a core group inside the system topology. The CG is the
+// basic message-passing rank granularity of the simulator: every CG has
+// one MPE that drives MPI traffic, so placement is defined per CG.
+type Place struct {
+	// CG is the global core-group index in [0, Spec.CGs()).
+	CG int
+	// LocalCG is the core-group index within its node in [0, CGsPerNode).
+	LocalCG int
+	// Node is the processor index in [0, Spec.Nodes).
+	Node int
+	// Supernode is the supernode index the node belongs to.
+	Supernode int
+}
+
+// PlaceCG maps a global CG index to its position in the topology.
+// CGs are numbered node-major: CGs 0..3 live on node 0, 4..7 on node 1,
+// and nodes fill supernodes in order, which matches the paper's advice
+// that a CG group should be located within a supernode if possible
+// (consecutive ranks are physically close).
+func (s *Spec) PlaceCG(cg int) (Place, error) {
+	if cg < 0 || cg >= s.CGs() {
+		return Place{}, fmt.Errorf("machine: CG index %d out of range [0,%d)", cg, s.CGs())
+	}
+	node := cg / CGsPerNode
+	return Place{
+		CG:        cg,
+		LocalCG:   cg % CGsPerNode,
+		Node:      node,
+		Supernode: node / NodesPerSupernode,
+	}, nil
+}
+
+// MustPlaceCG is PlaceCG that panics on a range error; for use where
+// the index is known valid by construction.
+func (s *Spec) MustPlaceCG(cg int) Place {
+	p, err := s.PlaceCG(cg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Distance classifies the fabric that a message between two CGs
+// traverses. It drives the network timing model.
+type Distance int
+
+const (
+	// SameCG means both endpoints are the same core group; the transfer
+	// never leaves the processor-local memory.
+	SameCG Distance = iota
+	// SameNode means the endpoints are distinct CGs of one SW26010
+	// processor and communicate through shared node memory.
+	SameNode
+	// SameSupernode means the endpoints are nodes connected by one
+	// customized inter-connection board.
+	SameSupernode
+	// CrossSupernode means the message travels through the central
+	// routing server of the two-level fat tree.
+	CrossSupernode
+)
+
+// String implements fmt.Stringer.
+func (d Distance) String() string {
+	switch d {
+	case SameCG:
+		return "same-cg"
+	case SameNode:
+		return "same-node"
+	case SameSupernode:
+		return "same-supernode"
+	case CrossSupernode:
+		return "cross-supernode"
+	default:
+		return fmt.Sprintf("distance(%d)", int(d))
+	}
+}
+
+// DistanceBetween classifies the path between two global CG indexes.
+func (s *Spec) DistanceBetween(a, b int) (Distance, error) {
+	pa, err := s.PlaceCG(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := s.PlaceCG(b)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case pa.CG == pb.CG:
+		return SameCG, nil
+	case pa.Node == pb.Node:
+		return SameNode, nil
+	case pa.Supernode == pb.Supernode:
+		return SameSupernode, nil
+	default:
+		return CrossSupernode, nil
+	}
+}

@@ -1,0 +1,482 @@
+// Package mpi implements the message-passing substrate of the
+// simulator: the role MPI plays on the real Sunway TaihuLight. Ranks
+// are core groups (each CG's managing processing element drives the
+// network), point-to-point messages really move data between rank
+// goroutines, and collectives are built from point-to-point messages
+// with the classic binomial-tree and dissemination algorithms so that
+// message counts, volumes and the emergent critical path match what a
+// real MPI library would produce on the two-level fat tree.
+//
+// Virtual time: every rank owns a vclock.Clock. A message carries the
+// sender's clock at completion of the send; the receive completes at
+// max(receiver's clock, send time + modelled transfer time), where the
+// transfer time comes from the netmodel (intra- vs inter-supernode
+// bandwidth and latency).
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// packet is one message in flight between ranks.
+type packet struct {
+	src  int // global rank
+	tag  uint64
+	time float64 // sender clock at send completion
+	data []float64
+	ints []int64
+}
+
+// World owns the rank set of one simulated job.
+type World struct {
+	spec  *machine.Spec
+	net   *netmodel.Model
+	stats *trace.Stats
+	size  int
+	cgOf  []int // world rank -> global CG index
+
+	inbox []chan packet
+	held  [][]packet // per-rank out-of-order buffer, owned by the rank goroutine
+
+	commIDs sync.Mutex
+	nextID  uint64
+
+	clocks []*vclock.Clock
+}
+
+// NewWorld creates a world of size ranks over the deployment spec.
+// Rank r is placed on global CG index r, so consecutive ranks are
+// physically adjacent (fill nodes, then supernodes), matching the
+// paper's placement advice. size must not exceed the number of CGs of
+// the deployment. The stats sink may be nil.
+func NewWorld(spec *machine.Spec, stats *trace.Stats, size int) (*World, error) {
+	return NewWorldPlaced(spec, stats, size, CompactPlacement)
+}
+
+// MustWorld is NewWorld that panics on error.
+func MustWorld(spec *machine.Spec, stats *trace.Stats, size int) *World {
+	w, err := NewWorld(spec, stats, size)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Spec returns the deployment spec.
+func (w *World) Spec() *machine.Spec { return w.spec }
+
+// MaxTime returns the latest virtual clock across ranks — the job's
+// completion time after Run returns.
+func (w *World) MaxTime() float64 { return vclock.MaxTime(w.clocks...) }
+
+// ResetClocks zeroes all rank clocks between measured iterations.
+func (w *World) ResetClocks() {
+	for _, c := range w.clocks {
+		c.Reset()
+	}
+}
+
+// Run executes fn concurrently on every rank and blocks until all
+// return. The first non-nil error (lowest rank) is returned. Run may
+// be called repeatedly on the same world; clocks persist across calls
+// unless ResetClocks is used.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			members := make([]int, w.size)
+			for i := range members {
+				members[i] = i
+			}
+			comm := &Comm{w: w, id: 0, rank: r, size: w.size, members: members}
+			errs[r] = fn(comm)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// newCommID allocates a distinct communicator identity for tag
+// namespacing. The world communicator is ID 0.
+func (w *World) newCommID() uint64 {
+	w.commIDs.Lock()
+	defer w.commIDs.Unlock()
+	w.nextID++
+	return w.nextID
+}
+
+// Comm is one rank's handle on a communicator. The world communicator
+// is passed to Run's callback; sub-communicators come from Split.
+// A Comm is confined to its rank's goroutine.
+type Comm struct {
+	w       *World
+	id      uint64
+	rank    int   // rank within this communicator
+	size    int   // communicator size
+	members []int // communicator rank -> global rank
+	seq     uint64
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Global returns the caller's global (world) rank.
+func (c *Comm) Global() int { return c.members[c.rank] }
+
+// CG returns the global core-group index this rank is placed on.
+func (c *Comm) CG() int { return c.w.cgOf[c.Global()] }
+
+// Clock returns the rank's virtual clock. Engines advance it directly
+// for local compute and DMA work.
+func (c *Comm) Clock() *vclock.Clock { return c.w.clocks[c.Global()] }
+
+// Stats returns the world's trace sink (possibly nil).
+func (c *Comm) Stats() *trace.Stats { return c.w.stats }
+
+// nextTag mints the tag for the next collective operation (or the
+// next step of a multi-step collective). All ranks of a communicator
+// execute the same sequence of collective steps, so their sequence
+// counters agree. Tags are unique per (communicator, step): the
+// communicator identity occupies the bits above the 20-bit step
+// counter and user tags live in a separate namespace (bit 63).
+func (c *Comm) nextTag() uint64 {
+	c.seq++
+	return c.id<<20 | (c.seq & (1<<20 - 1))
+}
+
+// send transmits payloads to communicator rank dst under tag.
+// The payloads are copied; the caller may reuse its buffers.
+func (c *Comm) send(dst int, tag uint64, data []float64, ints []int64) error {
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpi: send destination %d out of range [0,%d)", dst, c.size)
+	}
+	if dst == c.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
+	}
+	srcG, dstG := c.Global(), c.members[dst]
+	bytes := (len(data) + len(ints)) * ldm.ElemBytes
+	c.w.stats.AddNet(int64(bytes))
+	// The sender is busy for the injection duration; the wire time is
+	// charged on the receive side through the timestamp.
+	p := packet{src: srcG, tag: tag, time: c.Clock().Now()}
+	if len(data) > 0 {
+		p.data = append(make([]float64, 0, len(data)), data...)
+	}
+	if len(ints) > 0 {
+		p.ints = append(make([]int64, 0, len(ints)), ints...)
+	}
+	tt, err := c.w.net.TransferTime(c.w.cgOf[srcG], c.w.cgOf[dstG], bytes)
+	if err != nil {
+		return err
+	}
+	p.time += tt
+	c.w.inbox[dstG] <- p
+	return nil
+}
+
+// recv blocks until the message with the given tag from communicator
+// rank src arrives, reconciles the clock and returns the payloads.
+func (c *Comm) recv(src int, tag uint64) ([]float64, []int64, error) {
+	if src < 0 || src >= c.size {
+		return nil, nil, fmt.Errorf("mpi: recv source %d out of range [0,%d)", src, c.size)
+	}
+	srcG := c.members[src]
+	me := c.Global()
+	// First, scan messages held back earlier.
+	for i, h := range c.w.held[me] {
+		if h.src == srcG && h.tag == tag {
+			c.w.held[me] = append(c.w.held[me][:i], c.w.held[me][i+1:]...)
+			c.Clock().AdvanceTo(h.time)
+			return h.data, h.ints, nil
+		}
+	}
+	for {
+		p := <-c.w.inbox[me]
+		if p.src == srcG && p.tag == tag {
+			c.Clock().AdvanceTo(p.time)
+			return p.data, p.ints, nil
+		}
+		c.w.held[me] = append(c.w.held[me], p)
+	}
+}
+
+// Send transmits data and ints to communicator rank dst as a
+// point-to-point message with a caller-chosen small tag.
+func (c *Comm) Send(dst int, tag int, data []float64, ints []int64) error {
+	if tag < 0 || tag >= 1<<20 {
+		return fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.send(dst, uint64(tag)|1<<63, data, ints)
+}
+
+// Recv receives the matching point-to-point message from src.
+func (c *Comm) Recv(src int, tag int) ([]float64, []int64, error) {
+	if tag < 0 || tag >= 1<<20 {
+		return nil, nil, fmt.Errorf("mpi: user tag %d out of range", tag)
+	}
+	return c.recv(src, uint64(tag)|1<<63)
+}
+
+// Barrier blocks until every rank of the communicator has entered,
+// using the dissemination algorithm (works for any size, log2 rounds).
+func (c *Comm) Barrier() error {
+	for step := 1; step < c.size; step *= 2 {
+		tag := c.nextTag()
+		to := (c.rank + step) % c.size
+		from := (c.rank - step + c.size) % c.size
+		if err := c.send(to, tag, nil, nil); err != nil {
+			return err
+		}
+		if _, _, err := c.recv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data and ints to every rank using a
+// binomial tree. Non-root ranks receive into the provided slices,
+// which must have the same lengths as root's.
+func (c *Comm) Bcast(root int, data []float64, ints []int64) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	tag := c.nextTag()
+	rel := (c.rank - root + c.size) % c.size
+	// Find the receiving step: lowest set bit of rel.
+	mask := 1
+	for mask < c.size {
+		if rel&mask != 0 {
+			src := (c.rank - mask + c.size) % c.size
+			d, i, err := c.recv(commRank(src), tag)
+			if err != nil {
+				return err
+			}
+			if len(d) != len(data) || len(i) != len(ints) {
+				return fmt.Errorf("mpi: bcast payload mismatch on rank %d", c.rank)
+			}
+			copy(data, d)
+			copy(ints, i)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children: steps above the receiving step.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < c.size && rel&(mask-1) == 0 && rel&mask == 0 {
+			dst := (c.rank + mask) % c.size
+			if err := c.send(dst, tag, data, ints); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// commRank is an identity helper that documents rank-space: all
+// internal tree arithmetic is already in communicator rank space.
+func commRank(r int) int { return r }
+
+// Reduce combines data and ints element-wise with summation onto the
+// root rank using a binomial tree. On non-root ranks the slices are
+// left in an unspecified partially-combined state; callers that need
+// the result everywhere use AllReduceSum.
+func (c *Comm) Reduce(root int, data []float64, ints []int64) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	tag := c.nextTag()
+	rel := (c.rank - root + c.size) % c.size
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (c.rank - mask + c.size) % c.size
+			return c.send(dst, tag, data, ints)
+		}
+		if rel+mask < c.size {
+			src := (c.rank + mask) % c.size
+			d, i, err := c.recv(commRank(src), tag)
+			if err != nil {
+				return err
+			}
+			if len(d) != len(data) || len(i) != len(ints) {
+				return fmt.Errorf("mpi: reduce payload mismatch on rank %d", c.rank)
+			}
+			for j, v := range d {
+				data[j] += v
+			}
+			for j, v := range i {
+				ints[j] += v
+			}
+		}
+	}
+	return nil
+}
+
+// AllReduceSum sums data and ints element-wise across all ranks and
+// leaves the identical result on every rank (reduce to rank 0, then
+// broadcast, so results are bitwise identical everywhere).
+func (c *Comm) AllReduceSum(data []float64, ints []int64) error {
+	if c.size == 1 {
+		return nil
+	}
+	if err := c.Reduce(0, data, ints); err != nil {
+		return err
+	}
+	return c.Bcast(0, data, ints)
+}
+
+// AllReduceMinPairs reduces (value, payload) pairs with lexicographic
+// minimum: the smallest value wins; ties break to the smallest
+// payload. It is the assignment-combining operation of Algorithms 2
+// and 3 (a(i) = min a(i)'), with payload carrying the centroid index.
+// All ranks receive identical results.
+func (c *Comm) AllReduceMinPairs(vals []float64, idxs []int64) error {
+	if len(vals) != len(idxs) {
+		return fmt.Errorf("mpi: min-pairs length mismatch %d vs %d", len(vals), len(idxs))
+	}
+	if c.size == 1 {
+		return nil
+	}
+	tag := c.nextTag()
+	// Binomial reduce to rank 0 with min combiner.
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if c.rank&mask != 0 {
+			if err := c.send(c.rank-mask, tag, vals, idxs); err != nil {
+				return err
+			}
+			break
+		}
+		if c.rank+mask < c.size {
+			d, i, err := c.recv(c.rank+mask, tag)
+			if err != nil {
+				return err
+			}
+			if len(d) != len(vals) {
+				return fmt.Errorf("mpi: min-pairs payload mismatch on rank %d", c.rank)
+			}
+			for j := range vals {
+				if d[j] < vals[j] || (d[j] == vals[j] && i[j] < idxs[j]) {
+					vals[j], idxs[j] = d[j], i[j]
+				}
+			}
+		}
+	}
+	return c.Bcast(0, vals, idxs)
+}
+
+// AllGatherInts gathers each rank's ints contribution and returns the
+// concatenation ordered by rank, identical on every rank. All
+// contributions must have the same length.
+func (c *Comm) AllGatherInts(contrib []int64) ([]int64, error) {
+	n := len(contrib)
+	all := make([]int64, n*c.size)
+	copy(all[c.rank*n:], contrib)
+	if c.size == 1 {
+		return all, nil
+	}
+	tag := c.nextTag()
+	// Gather to rank 0, then broadcast. Simple and deterministic.
+	if c.rank == 0 {
+		for src := 1; src < c.size; src++ {
+			_, i, err := c.recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(i) != n {
+				return nil, fmt.Errorf("mpi: allgather size mismatch from rank %d: %d vs %d", src, len(i), n)
+			}
+			copy(all[src*n:], i)
+		}
+	} else {
+		if err := c.send(0, tag, nil, contrib); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Bcast(0, nil, all); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// Split partitions the communicator: ranks passing equal color form a
+// new communicator, ordered by (key, rank). Every rank of the parent
+// must call Split. The returned Comm is ready for collectives within
+// the partition.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	pairs, err := c.AllGatherInts([]int64{int64(color), int64(key)})
+	if err != nil {
+		return nil, err
+	}
+	type mem struct{ color, key, rank int }
+	var mine []mem
+	for r := 0; r < c.size; r++ {
+		col := int(pairs[2*r])
+		if col == color {
+			mine = append(mine, mem{col, int(pairs[2*r+1]), r})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	members := make([]int, len(mine))
+	newRank := -1
+	for i, m := range mine {
+		members[i] = c.members[m.rank]
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	if newRank < 0 {
+		return nil, fmt.Errorf("mpi: rank %d missing from its own split", c.rank)
+	}
+	// Communicator identity must agree across all members of the new
+	// communicator without extra communication, and must be unique
+	// across every communicator in the world. All ranks hold the same
+	// gathered color table and the same (parent id, parent seq), so
+	// the tuple (parent id, parent seq, index of this color among the
+	// sorted distinct colors) is both agreed and collision-free.
+	distinct := make(map[int]struct{}, c.size)
+	var colors []int
+	for r := 0; r < c.size; r++ {
+		col := int(pairs[2*r])
+		if _, ok := distinct[col]; !ok {
+			distinct[col] = struct{}{}
+			colors = append(colors, col)
+		}
+	}
+	sort.Ints(colors)
+	colorIdx := sort.SearchInts(colors, color)
+	id := (c.id*1_000_003+c.seq)*65536 + uint64(colorIdx) + 1
+	return &Comm{
+		w:       c.w,
+		id:      id,
+		rank:    newRank,
+		size:    len(members),
+		members: members,
+	}, nil
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestPlacementValidation(t *testing.T) {
+	spec := machine.MustSpec(2)
+	if _, err := NewWorldPlaced(spec, nil, 4, func(r int) int { return -1 }); err == nil {
+		t.Error("negative CG accepted")
+	}
+	if _, err := NewWorldPlaced(spec, nil, 4, func(r int) int { return 99 }); err == nil {
+		t.Error("out-of-range CG accepted")
+	}
+	if _, err := NewWorldPlaced(spec, nil, 4, func(r int) int { return 0 }); err == nil {
+		t.Error("non-injective placement accepted")
+	}
+	if _, err := NewWorldPlaced(spec, nil, 0, CompactPlacement); err == nil {
+		t.Error("size 0 accepted")
+	}
+	w, err := NewWorldPlaced(spec, nil, 4, nil)
+	if err != nil {
+		t.Fatalf("nil placement should default to compact: %v", err)
+	}
+	if w.cgOf[3] != 3 {
+		t.Error("default placement not compact")
+	}
+}
+
+func TestStridedPlacement(t *testing.T) {
+	p := StridedPlacement(64, 2048)
+	if p(0) != 0 || p(1) != 64 || p(32) != 0 {
+		t.Errorf("strided placement wrong: %d %d %d", p(0), p(1), p(32))
+	}
+}
+
+func TestCommCG(t *testing.T) {
+	spec := machine.MustSpec(512)
+	w, err := NewWorldPlaced(spec, nil, 8, StridedPlacement(256, spec.CGs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.CG() != c.Rank()*256 {
+			t.Errorf("rank %d on CG %d, want %d", c.Rank(), c.CG(), c.Rank()*256)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScatteredPlacementIsSlower: the same collective over the same
+// rank count completes later when ranks scatter across supernodes —
+// the functional confirmation of Section III.C's placement advice.
+func TestScatteredPlacementIsSlower(t *testing.T) {
+	spec := machine.MustSpec(2048) // 8192 CGs, 8 supernodes
+	const size = 16
+	timeFor := func(place Placement) float64 {
+		w, err := NewWorldPlaced(spec, nil, size, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(c *Comm) error {
+			return c.AllReduceSum(make([]float64, 50000), nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	compact := timeFor(CompactPlacement)
+	scattered := timeFor(StridedPlacement(512, spec.CGs()))
+	if scattered <= compact {
+		t.Errorf("scattered allreduce (%g) not slower than compact (%g)", scattered, compact)
+	}
+}
+
+func TestPlacedWorldStillCorrect(t *testing.T) {
+	// Correctness is placement-independent: sums agree.
+	spec := machine.MustSpec(512)
+	w, err := NewWorldPlaced(spec, nil, 10, StridedPlacement(128, spec.CGs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		data := []float64{float64(c.Rank() + 1)}
+		if err := c.AllReduceSum(data, nil); err != nil {
+			return err
+		}
+		if data[0] != 55 {
+			t.Errorf("sum = %g, want 55", data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

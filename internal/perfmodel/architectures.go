@@ -1,0 +1,69 @@
+package perfmodel
+
+import "fmt"
+
+// ArchRow is one row of the paper's Table III: a published k-means
+// implementation on another architecture, the workload it reported,
+// its per-iteration time, the Sunway time the paper reported for the
+// same workload, and the Sunway time our model predicts.
+type ArchRow struct {
+	Approach       string
+	Hardware       string
+	N, K, D        int
+	TheirSeconds   float64 // published comparator time per iteration
+	PaperNodes     int     // Sunway nodes the paper applied
+	PaperSeconds   float64 // Sunway time reported in the paper
+	PaperSpeedup   float64 // speedup reported in the paper
+	ModelSeconds   float64 // our modelled Sunway time (calibrated)
+	ModelSpeedup   float64
+	ModelLevelUsed string
+}
+
+// tableIIIInputs are the published rows of Table III.
+var tableIIIInputs = []ArchRow{
+	{
+		Approach: "Rossbach, et al [33]", Hardware: "10x Tesla K20M + 20x Xeon E5-2620",
+		N: 1_000_000_000, K: 120, D: 40,
+		TheirSeconds: 49.4, PaperNodes: 128, PaperSeconds: 0.468635, PaperSpeedup: 105,
+	},
+	{
+		Approach: "Bhimani, et al [3]", Hardware: "NVIDIA Tesla K20M",
+		N: 1_400_000, K: 240, D: 5,
+		TheirSeconds: 1.77, PaperNodes: 4, PaperSeconds: 0.025336, PaperSpeedup: 70,
+	},
+	{
+		Approach: "Jin, et al [23]", Hardware: "NVIDIA Tesla K20c",
+		N: 140_000, K: 500, D: 90,
+		TheirSeconds: 5.407, PaperNodes: 1, PaperSeconds: 0.110191, PaperSpeedup: 49,
+	},
+	{
+		Approach: "Li, et al [27]", Hardware: "Xilinx ZC706",
+		N: 2_100_000, K: 4, D: 4,
+		TheirSeconds: 0.0085, PaperNodes: 1, PaperSeconds: 0.002839, PaperSpeedup: 3,
+	},
+	{
+		Approach: "Ding, et al [13]", Hardware: "Intel i7-3770K",
+		N: 2_500_000, K: 10_000, D: 68,
+		TheirSeconds: 75.976, PaperNodes: 16, PaperSeconds: 2.424517, PaperSpeedup: 31,
+	},
+}
+
+// TableIII evaluates the cross-architecture comparison: for every
+// published row, the model predicts the Sunway per-iteration time at
+// the paper's node count (best feasible level) and derives the
+// speedup over the published comparator time.
+func TableIII() ([]ArchRow, error) {
+	rows := make([]ArchRow, len(tableIIIInputs))
+	for i, in := range tableIIIInputs {
+		row := in
+		pred, err := BestLevel(Scenario{Nodes: in.PaperNodes, N: in.N, K: in.K, D: in.D})
+		if err != nil {
+			return nil, fmt.Errorf("perfmodel: table III row %q: %w", in.Approach, err)
+		}
+		row.ModelSeconds = pred.Total
+		row.ModelSpeedup = in.TheirSeconds / pred.Total
+		row.ModelLevelUsed = pred.Level.String()
+		rows[i] = row
+	}
+	return rows, nil
+}

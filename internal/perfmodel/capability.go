@@ -1,0 +1,59 @@
+package perfmodel
+
+import (
+	"repro/internal/ldm"
+	"repro/internal/machine"
+)
+
+// CapabilityRow is one row of the paper's Table I: a parallel k-means
+// implementation and the workload scale it handles.
+type CapabilityRow struct {
+	Approach  string
+	Hardware  string
+	Model     string
+	N         float64 // samples (order of magnitude as published)
+	K         int
+	D         int
+	Published bool // false for the row our constraint model derives
+}
+
+// TableI returns the published capability rows plus the row derived
+// from this implementation's constraint model on the given deployment.
+func TableI(spec *machine.Spec) []CapabilityRow {
+	rows := []CapabilityRow{
+		{"Böhm, et al [4]", "Multi-core Processors", "MIMD/SIMD", 1e7, 40, 20, true},
+		{"Hadian and Shahrivari [17]", "Multi-core Processors", "multi-thread", 1e9, 100, 68, true},
+		{"Zechner and Granitzer [37]", "GPU", "CUDA", 1e6, 128, 200, true},
+		{"Li, et al [26]", "GPU", "CUDA", 1e7, 512, 160, true},
+		{"Haut, et al [19]", "Cloud", "OpenStack", 1e8, 8, 58, true},
+		{"Cui, et al [8]", "Cluster", "Hadoop", 1e5, 100, 9, true},
+		{"Kumar, et al [24]", "Jaguar, Oak Ridge", "MPI", 1e10, 1000, 30, true},
+		{"Cai, et al [6]", "Gordon, SDSC", "mclapply (parallel R)", 1e6, 8, 8, true},
+		{"Bender, et al [2]", "Trinity, NNSA", "OpenMP", 370, 18, 140256, true},
+	}
+	rows = append(rows, CapabilityRow{
+		Approach: "Our approach (this reproduction)",
+		Hardware: "Sunway, Wuxi (simulated)",
+		Model:    "DMA/MPI",
+		N:        1e6,
+		K:        MaxK(spec, 196608),
+		D:        MaxD(spec),
+		Published: false,
+	})
+	return rows
+}
+
+// MaxD returns the largest dimension count the Level-3 design admits
+// on the deployment: constraint C″2 with the per-CPE stripe rounded to
+// whole CPE shares.
+func MaxD(spec *machine.Spec) int {
+	capCG := machine.CPEsPerCG * ldm.ElemsPerLDM(spec.LDMBytesPerCPE)
+	d := (capCG - 1) / 3
+	return d - d%machine.CPEsPerCG
+}
+
+// MaxK returns the largest centroid count the Level-3 design admits at
+// dimension d when the whole deployment forms one CG group.
+func MaxK(spec *machine.Spec, d int) int {
+	return ldm.MaxKLevel3(spec, d, spec.CGs())
+}

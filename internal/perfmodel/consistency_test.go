@@ -1,0 +1,101 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+)
+
+// TestModelMatchesFunctionalSimulator cross-checks the two timing
+// paths of this repository: the analytic model (this package) and the
+// functional machine simulator (internal/core) must agree on
+// uncalibrated per-iteration time within a small factor wherever both
+// can run. The model divides out its calibration factor for the
+// comparison.
+func TestModelMatchesFunctionalSimulator(t *testing.T) {
+	cases := []struct {
+		name  string
+		level core.Level
+		nodes int
+		k, d  int
+		scale int // ImgNet scale for the functional run
+	}{
+		{"L1-small", core.Level1, 1, 64, 28, 0},
+		{"L2-mid", core.Level2, 1, 256, 512, 512},
+		{"L3-mid", core.Level3, 2, 200, 1024, 512},
+		{"L3-wide", core.Level3, 2, 200, 4096, 512},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var src dataset.Source
+			var err error
+			if c.scale == 0 {
+				src, err = dataset.Kegg(16)
+			} else {
+				src, err = dataset.ImgNet(c.d, c.scale)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(core.Config{
+				Spec: machine.MustSpec(c.nodes), Level: c.level, K: c.k,
+				MaxIters: 1, Seed: 1, SampleStride: 4,
+			}, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := res.MeanIterTime()
+
+			pred, err := Predict(c.level, Scenario{Nodes: c.nodes, N: src.N(), K: c.k, D: src.D()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := pred.Total / CalibrationFactor
+
+			ratio := model / sim
+			if ratio < 0.3 || ratio > 3.5 {
+				t.Errorf("%s: model %.6f s vs simulator %.6f s (ratio %.2f, want within ~3x)",
+					c.name, model, sim, ratio)
+			}
+		})
+	}
+}
+
+// TestModelPreservesFunctionalOrdering: where the simulator says one
+// level beats another, the model must agree.
+func TestModelPreservesFunctionalOrdering(t *testing.T) {
+	type arm struct {
+		level core.Level
+		sim   float64
+		model float64
+	}
+	for _, d := range []int{256, 4096} {
+		src, err := dataset.ImgNet(d, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arms []arm
+		for _, lv := range []core.Level{core.Level2, core.Level3} {
+			res, err := core.Run(core.Config{
+				Spec: machine.MustSpec(2), Level: lv, K: 200,
+				MaxIters: 1, Seed: 1, SampleStride: 8,
+			}, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := Predict(lv, Scenario{Nodes: 2, N: src.N(), K: 200, D: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arms = append(arms, arm{lv, res.MeanIterTime(), pred.Total})
+		}
+		simSaysL2 := arms[0].sim < arms[1].sim
+		modelSaysL2 := arms[0].model < arms[1].model
+		if simSaysL2 != modelSaysL2 {
+			t.Errorf("d=%d: simulator and model disagree on the winner (sim L2=%v, model L2=%v)",
+				d, simSaysL2, modelSaysL2)
+		}
+	}
+}

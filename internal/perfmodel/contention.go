@@ -1,0 +1,72 @@
+package perfmodel
+
+import (
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/machine"
+)
+
+// PredictContended is Predict with the fat-tree contention model
+// applied to the network terms: instead of charging each collective at
+// its distance class's nominal bandwidth, concurrent flows share the
+// board uplinks (internal/fattree). The refinement matters for
+// Level 3's Update step, where every centroid-slice position runs its
+// own allreduce simultaneously across all CG groups.
+func PredictContended(level core.Level, sc Scenario) (Prediction, error) {
+	base, err := Predict(level, sc)
+	if err != nil {
+		return Prediction{}, err
+	}
+	spec, err := machine.NewSpec(sc.Nodes)
+	if err != nil {
+		return Prediction{}, err
+	}
+	ft, err := fattree.New(spec)
+	if err != nil {
+		return Prediction{}, err
+	}
+	plan := base.Plan
+
+	var netSec float64
+	switch level {
+	case core.Level1, core.Level2:
+		// One world-wide allreduce of the k-by-(d+1) sums: a single
+		// binomial tree, minimal contention but charged through the
+		// explicit topology.
+		t, err := ft.AllReduceTime(0, plan.Ranks, sc.K*(sc.D+1))
+		if err != nil {
+			return Prediction{}, err
+		}
+		netSec = t
+
+	case core.Level3:
+		nGroup := ceilDiv(sc.N, plan.Groups)
+		batches := ceilDiv(nGroup, DefaultBatch)
+		// Assign: every CG group min-reduces its own batches at the
+		// same time — `groups` concurrent collectives, each spanning
+		// one group of contiguous ranks.
+		t, err := ft.ConcurrentAllReduceTime(0, plan.MPrimeGroup, 2*DefaultBatch, plan.Groups)
+		if err != nil {
+			return Prediction{}, err
+		}
+		netSec = float64(batches) * t
+		// Update: m' concurrent per-slice allreduces spanning the whole
+		// deployment.
+		t, err = ft.ConcurrentAllReduceTime(0, plan.Ranks, plan.KLocalMax*(sc.D+1), plan.MPrimeGroup)
+		if err != nil {
+			return Prediction{}, err
+		}
+		netSec += t
+		// Convergence scalar.
+		t, err = ft.AllReduceTime(0, plan.Ranks, 1)
+		if err != nil {
+			return Prediction{}, err
+		}
+		netSec += t
+	}
+
+	p := base
+	p.Net = CalibrationFactor * netSec
+	p.Total = p.Read + p.Compute + p.Reg + p.Net
+	return p, nil
+}

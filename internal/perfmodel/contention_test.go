@@ -1,0 +1,68 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestPredictContendedHeadline(t *testing.T) {
+	sc := Scenario{Nodes: 4096, N: dataset.ImgNetN, K: 2000, D: 196608}
+	base, err := Predict(core.Level3, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := PredictContended(core.Level3, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local terms are untouched.
+	if cont.Read != base.Read || cont.Compute != base.Compute || cont.Reg != base.Reg {
+		t.Error("contention changed local terms")
+	}
+	// The headline must survive the refined network model.
+	if cont.Total >= 18 {
+		t.Errorf("contended headline = %.2f s, paper reports < 18 s", cont.Total)
+	}
+	if cont.Net <= 0 {
+		t.Error("no network time")
+	}
+}
+
+func TestPredictContendedNeverFasterAtScale(t *testing.T) {
+	// With many concurrent per-slice reduces across supernodes, the
+	// contended network term must not undercut the simple model by
+	// much, and at wide spans it should exceed it.
+	for _, nodes := range []int{512, 2048, 4096} {
+		sc := Scenario{Nodes: nodes, N: dataset.ImgNetN, K: 2000, D: 196608}
+		base, err := Predict(core.Level3, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := PredictContended(core.Level3, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cont.Net < base.Net*0.2 {
+			t.Errorf("nodes=%d: contended net %.4f implausibly below base %.4f", nodes, cont.Net, base.Net)
+		}
+	}
+}
+
+func TestPredictContendedLevels12(t *testing.T) {
+	sc := Scenario{Nodes: 128, N: dataset.ImgNetN, K: 2000, D: 4096}
+	for _, lv := range []core.Level{core.Level2} {
+		cont, err := PredictContended(lv, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cont.Total <= 0 || cont.Net <= 0 {
+			t.Errorf("%v: bad prediction %+v", lv, cont)
+		}
+	}
+	// Infeasible shapes still error.
+	if _, err := PredictContended(core.Level2, Scenario{Nodes: 128, N: 1000, K: 2000, D: 4096}); err == nil {
+		t.Error("k>n accepted")
+	}
+}

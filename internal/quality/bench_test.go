@@ -1,0 +1,68 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func benchFixture(b *testing.B) (dataset.Source, []float64, []int) {
+	b.Helper()
+	g, err := dataset.NewGaussianMixture("bench", 2048, 16, 8, 0.2, 2.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cents := make([]float64, 8*16)
+	buf := make([]float64, 16)
+	for c := 0; c < 8; c++ {
+		g.Center(c, buf)
+		copy(cents[c*16:], buf)
+	}
+	assign := make([]int, g.N())
+	for i := range assign {
+		assign[i] = g.TrueLabel(i)
+	}
+	return g, cents, assign
+}
+
+func BenchmarkObjective(b *testing.B) {
+	src, cents, assign := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Objective(src, cents, 16, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkARI(b *testing.B) {
+	_, _, assign := benchFixture(b)
+	other := append([]int(nil), assign...)
+	other[0] = (other[0] + 1) % 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ARI(assign, other); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDaviesBouldin(b *testing.B) {
+	src, cents, assign := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DaviesBouldin(src, cents, 16, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouetteSampled(b *testing.B) {
+	src, _, assign := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Silhouette(src, assign, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

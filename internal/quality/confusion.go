@@ -1,0 +1,101 @@
+package quality
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix counts (predicted, true) label pairs. Rows are
+// predicted clusters, columns true classes, both sorted ascending.
+type ConfusionMatrix struct {
+	PredLabels []int
+	TrueLabels []int
+	Counts     [][]int // [pred][true]
+}
+
+// Confusion builds the matrix from two labelings.
+func Confusion(pred, truth []int) (*ConfusionMatrix, error) {
+	table, cp, ct, err := contingency(pred, truth)
+	if err != nil {
+		return nil, err
+	}
+	cm := &ConfusionMatrix{}
+	for l := range cp {
+		cm.PredLabels = append(cm.PredLabels, l)
+	}
+	for l := range ct {
+		cm.TrueLabels = append(cm.TrueLabels, l)
+	}
+	sort.Ints(cm.PredLabels)
+	sort.Ints(cm.TrueLabels)
+	colOf := make(map[int]int, len(cm.TrueLabels))
+	for i, l := range cm.TrueLabels {
+		colOf[l] = i
+	}
+	rowOf := make(map[int]int, len(cm.PredLabels))
+	for i, l := range cm.PredLabels {
+		rowOf[l] = i
+	}
+	cm.Counts = make([][]int, len(cm.PredLabels))
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, len(cm.TrueLabels))
+	}
+	for key, v := range table {
+		cm.Counts[rowOf[key[0]]][colOf[key[1]]] = v
+	}
+	return cm, nil
+}
+
+// Render writes the matrix as an aligned table with row and column
+// totals.
+func (cm *ConfusionMatrix) Render(w io.Writer) error {
+	var b strings.Builder
+	width := 8
+	fmt.Fprintf(&b, "%*s", width, "pred\\true")
+	for _, l := range cm.TrueLabels {
+		fmt.Fprintf(&b, "%*d", width, l)
+	}
+	fmt.Fprintf(&b, "%*s\n", width, "total")
+	colTotals := make([]int, len(cm.TrueLabels))
+	for i, pl := range cm.PredLabels {
+		fmt.Fprintf(&b, "%*d", width, pl)
+		rowTotal := 0
+		for j, v := range cm.Counts[i] {
+			fmt.Fprintf(&b, "%*d", width, v)
+			rowTotal += v
+			colTotals[j] += v
+		}
+		fmt.Fprintf(&b, "%*d\n", width, rowTotal)
+	}
+	fmt.Fprintf(&b, "%*s", width, "total")
+	grand := 0
+	for _, v := range colTotals {
+		fmt.Fprintf(&b, "%*d", width, v)
+		grand += v
+	}
+	fmt.Fprintf(&b, "%*d\n", width, grand)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Purity returns the fraction of samples in clusters dominated by
+// their majority class.
+func (cm *ConfusionMatrix) Purity() float64 {
+	correct, total := 0, 0
+	for _, row := range cm.Counts {
+		best := 0
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+			total += v
+		}
+		correct += best
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

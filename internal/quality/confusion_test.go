@@ -1,0 +1,67 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusion(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 1, 2}
+	truth := []int{5, 5, 6, 6, 5, 7}
+	cm, err := Confusion(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.PredLabels) != 3 || len(cm.TrueLabels) != 3 {
+		t.Fatalf("labels %v / %v", cm.PredLabels, cm.TrueLabels)
+	}
+	// pred 0 x true 5 = 2; pred 1 x true 6 = 2; pred 1 x true 5 = 1.
+	if cm.Counts[0][0] != 2 || cm.Counts[1][1] != 2 || cm.Counts[1][0] != 1 || cm.Counts[2][2] != 1 {
+		t.Errorf("counts = %v", cm.Counts)
+	}
+	// Purity: (2 + 2 + 1) / 6.
+	if got := cm.Purity(); got != 5.0/6.0 {
+		t.Errorf("Purity = %g, want 5/6", got)
+	}
+}
+
+func TestConfusionRender(t *testing.T) {
+	pred := []int{0, 1}
+	truth := []int{0, 1}
+	cm, err := Confusion(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := cm.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pred\\true", "total", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Grand total = 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(strings.TrimSpace(last), "2") {
+		t.Errorf("grand total row = %q", last)
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := Confusion([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Confusion(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestPurityEmptyMatrix(t *testing.T) {
+	cm := &ConfusionMatrix{}
+	if got := cm.Purity(); got != 0 {
+		t.Errorf("empty purity = %g", got)
+	}
+}

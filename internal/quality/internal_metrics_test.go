@@ -1,0 +1,147 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func separableCase(t *testing.T) (dataset.Source, []float64, []int) {
+	t.Helper()
+	m, err := dataset.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := []float64{0.033, 0.033, 10.033, 10.033}
+	assign := []int{0, 0, 0, 1, 1, 1}
+	return m, cents, assign
+}
+
+func mixedCase(t *testing.T) (dataset.Source, []float64, []int) {
+	t.Helper()
+	m, err := dataset.FromRows([][]float64{
+		{0, 0}, {1, 1}, {0.5, 0.2},
+		{1.2, 0.1}, {0.2, 1.1}, {0.9, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := []float64{0.3, 0.3, 1.0, 0.8}
+	assign := []int{0, 1, 0, 1, 0, 1}
+	return m, cents, assign
+}
+
+func TestDaviesBouldinOrdersQuality(t *testing.T) {
+	src1, c1, a1 := separableCase(t)
+	good, err := DaviesBouldin(src1, c1, 2, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, c2, a2 := mixedCase(t)
+	bad, err := DaviesBouldin(src2, c2, 2, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good >= bad {
+		t.Errorf("DB(good)=%g should be below DB(bad)=%g", good, bad)
+	}
+	if good <= 0 {
+		t.Errorf("DB index must be positive, got %g", good)
+	}
+}
+
+func TestDaviesBouldinErrors(t *testing.T) {
+	src, cents, assign := separableCase(t)
+	if _, err := DaviesBouldin(src, cents, 3, assign); err == nil {
+		t.Error("d mismatch accepted")
+	}
+	if _, err := DaviesBouldin(src, cents, 2, assign[:3]); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := DaviesBouldin(src, cents[:3], 2, assign); err == nil {
+		t.Error("ragged centroids accepted")
+	}
+	badAssign := append([]int(nil), assign...)
+	badAssign[0] = 9
+	if _, err := DaviesBouldin(src, cents, 2, badAssign); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	// All samples in one cluster.
+	one := []int{0, 0, 0, 0, 0, 0}
+	if _, err := DaviesBouldin(src, cents, 2, one); err == nil {
+		t.Error("single-cluster input accepted")
+	}
+	// Duplicate centroids.
+	dup := []float64{1, 1, 1, 1}
+	if _, err := DaviesBouldin(src, dup, 2, assign); err == nil {
+		t.Error("duplicate centroids accepted")
+	}
+}
+
+func TestSilhouetteOrdersQuality(t *testing.T) {
+	src1, _, a1 := separableCase(t)
+	good, err := Silhouette(src1, a1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, _, a2 := mixedCase(t)
+	bad, err := Silhouette(src2, a2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Errorf("silhouette of well-separated clusters = %g, want > 0.8", good)
+	}
+	if bad >= good {
+		t.Errorf("silhouette(bad)=%g should be below silhouette(good)=%g", bad, good)
+	}
+}
+
+func TestSilhouetteSampled(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("sil", 300, 6, 3, 0.1, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int, g.N())
+	for i := range assign {
+		assign[i] = g.TrueLabel(i)
+	}
+	full, err := Silhouette(g, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Silhouette(g, assign, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 0.8 || sampled < 0.8 {
+		t.Errorf("silhouettes %g/%g on separable mixture", full, sampled)
+	}
+	if diff := full - sampled; diff > 0.1 || diff < -0.1 {
+		t.Errorf("sampled silhouette %g deviates from full %g", sampled, full)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	src, _, assign := separableCase(t)
+	if _, err := Silhouette(src, assign[:2], 0); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := Silhouette(src, []int{-1, 0, 0, 1, 1, 1}, 0); err == nil {
+		t.Error("unassigned sample accepted")
+	}
+	tiny, err := dataset.FromRows([][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Silhouette(tiny, []int{0, 1}, 0); err == nil {
+		t.Error("n<3 accepted")
+	}
+	// Single non-empty cluster: nothing computable.
+	if _, err := Silhouette(src, []int{0, 0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("single-cluster silhouette accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestObjective(t *testing.T) {
+	m, err := dataset.FromRows([][]float64{{0, 0}, {2, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroids := []float64{1, 0, 10, 0} // two 2-d centroids
+	obj, err := Objective(m, centroids, 2, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Squared distances: 1, 1, 0 -> mean 2/3.
+	if math.Abs(obj-2.0/3.0) > 1e-12 {
+		t.Errorf("Objective = %g, want 2/3", obj)
+	}
+}
+
+func TestObjectiveErrors(t *testing.T) {
+	m, _ := dataset.FromRows([][]float64{{0, 0}})
+	if _, err := Objective(m, []float64{1, 2}, 3, []int{0}); err == nil {
+		t.Error("d mismatch accepted")
+	}
+	if _, err := Objective(m, []float64{1, 2}, 2, []int{0, 1}); err == nil {
+		t.Error("assignment length mismatch accepted")
+	}
+	if _, err := Objective(m, []float64{1, 2, 3}, 2, []int{0}); err == nil {
+		t.Error("ragged centroid matrix accepted")
+	}
+	if _, err := Objective(m, []float64{1, 2}, 2, []int{5}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, err := Objective(m, nil, 2, []int{0}); err == nil {
+		t.Error("empty centroids accepted")
+	}
+}
+
+func TestARIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	got, err := ARI(a, a)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI(a,a) = %g (%v), want 1", got, err)
+	}
+	// Permuted labels are still a perfect match.
+	b := []int{5, 5, 3, 3, 9, 9}
+	got, err = ARI(a, b)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI permuted = %g (%v), want 1", got, err)
+	}
+}
+
+func TestARIDisagreement(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 1, 0, 1, 0, 1}
+	got, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.5 {
+		t.Errorf("ARI of near-independent partitions = %g, want small", got)
+	}
+}
+
+func TestARIDegenerate(t *testing.T) {
+	a := []int{0, 0, 0}
+	got, err := ARI(a, a)
+	if err != nil || got != 1 {
+		t.Errorf("degenerate ARI = %g (%v), want 1", got, err)
+	}
+}
+
+func TestARIErrors(t *testing.T) {
+	if _, err := ARI([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ARI(nil, nil); err == nil {
+		t.Error("empty labelings accepted")
+	}
+	if _, err := ARI([]int{-1}, []int{0}); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func TestNMI(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if got, err := NMI(a, a); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(a,a) = %g (%v), want 1", got, err)
+	}
+	b := []int{1, 1, 0, 0}
+	if got, err := NMI(a, b); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI permuted = %g (%v), want 1", got, err)
+	}
+	// Independent: every combination appears equally often.
+	x := []int{0, 0, 1, 1}
+	y := []int{0, 1, 0, 1}
+	if got, err := NMI(x, y); err != nil || math.Abs(got) > 1e-9 {
+		t.Errorf("NMI independent = %g (%v), want 0", got, err)
+	}
+	// Degenerate single-cluster partitions.
+	if got, err := NMI([]int{0, 0}, []int{0, 0}); err != nil || got != 1 {
+		t.Errorf("NMI degenerate = %g (%v), want 1", got, err)
+	}
+}
+
+func TestNMIRange(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]int, len(raw))
+		b := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v) % 3
+			b[i] = int(v>>4) % 4
+		}
+		got, err := NMI(a, b)
+		return err == nil && got >= 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARISymmetryProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		a := make([]int, len(raw))
+		b := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v) % 4
+			b[i] = int(v>>3) % 3
+		}
+		x, err1 := ARI(a, b)
+		y, err2 := ARI(b, a)
+		return err1 == nil && err2 == nil && math.Abs(x-y) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2, 2}
+	truth := []int{4, 4, 5, 5, 6, 6}
+	got, err := Accuracy(pred, truth)
+	if err != nil || got != 1 {
+		t.Errorf("Accuracy perfect = %g (%v), want 1", got, err)
+	}
+	pred2 := []int{0, 0, 1, 1, 2, 0}
+	got, err = Accuracy(pred2, truth)
+	if err != nil || math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Errorf("Accuracy = %g (%v), want 5/6", got, err)
+	}
+	if _, err := Accuracy([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAccuracyDeterministicTieBreak(t *testing.T) {
+	pred := []int{0, 1}
+	truth := []int{0, 1}
+	a1, _ := Accuracy(pred, truth)
+	a2, _ := Accuracy(pred, truth)
+	if a1 != a2 {
+		t.Error("Accuracy not deterministic")
+	}
+}

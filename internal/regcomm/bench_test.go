@@ -1,0 +1,34 @@
+package regcomm
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkMeshAllReduce measures the functional 8x8-mesh allreduce
+// with 64 CPE goroutines — the register-communication bottleneck of
+// the Update step.
+func BenchmarkMeshAllReduce(b *testing.B) {
+	spec := machine.MustSpec(1)
+	for i := 0; i < b.N; i++ {
+		mesh := NewMesh(spec, nil)
+		mesh.Run(func(c *CPE) {
+			buf := []float64{float64(c.ID()), 1, 2, 3}
+			if err := c.AllReduce(buf, nil); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
+// BenchmarkModelAllReduceTime measures the closed-form cost path used
+// by the CG executors.
+func BenchmarkModelAllReduceTime(b *testing.B) {
+	m := NewModel(machine.MustSpec(1))
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += m.AllReduceTime(4096)
+	}
+	_ = sink
+}

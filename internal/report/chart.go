@@ -1,0 +1,155 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ChartSeries is one curve of an ASCII chart: a name, a marker rune
+// and y values aligned with the shared x labels (NaN marks a missing
+// point, e.g. an infeasible configuration).
+type ChartSeries struct {
+	Name   string
+	Marker byte
+	Y      []float64
+}
+
+// Chart renders one or more series sharing x positions as an ASCII
+// scatter chart with a y axis, for quick visual inspection of figure
+// shapes in terminal output.
+type Chart struct {
+	title   string
+	xLabels []string
+	series  []ChartSeries
+	height  int
+	logY    bool
+}
+
+// NewChart creates a chart with the shared x labels. height is the
+// number of plot rows (minimum 4; default 16 when zero).
+func NewChart(title string, xLabels []string, height int) *Chart {
+	if height == 0 {
+		height = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{title: title, xLabels: xLabels, height: height}
+}
+
+// LogY switches the y axis to log scale (positive values only; points
+// at or below zero are dropped).
+func (c *Chart) LogY() *Chart {
+	c.logY = true
+	return c
+}
+
+// Add appends a series, which must have one y value per x label.
+func (c *Chart) Add(s ChartSeries) error {
+	if len(s.Y) != len(c.xLabels) {
+		return fmt.Errorf("report: series %q has %d points for %d x labels", s.Name, len(s.Y), len(c.xLabels))
+	}
+	if s.Marker == 0 {
+		s.Marker = "*+ox#@"[len(c.series)%6]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 || len(c.xLabels) == 0 {
+		return fmt.Errorf("report: empty chart")
+	}
+	transform := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		if c.logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, v := range s.Y {
+			if tv, ok := transform(v); ok {
+				lo = math.Min(lo, tv)
+				hi = math.Max(hi, tv)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: chart has no drawable points")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	const colWidth = 6
+	width := len(c.xLabels) * colWidth
+	grid := make([][]byte, c.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(c.height-1)))
+		return c.height - 1 - r
+	}
+	for _, s := range c.series {
+		for xi, v := range s.Y {
+			tv, ok := transform(v)
+			if !ok {
+				continue
+			}
+			col := xi*colWidth + colWidth/2
+			r := row(tv)
+			if grid[r][col] == ' ' {
+				grid[r][col] = s.Marker
+			} else if grid[r][col] != s.Marker {
+				grid[r][col] = '&' // overlapping series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	inv := func(r int) float64 {
+		frac := float64(c.height-1-r) / float64(c.height-1)
+		v := lo + frac*(hi-lo)
+		if c.logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < c.height; r++ {
+		label := ""
+		if r == 0 || r == c.height-1 || r == c.height/2 {
+			label = fmt.Sprintf("%10.3g", inv(r))
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	// X labels, truncated to the column width.
+	fmt.Fprintf(&b, "%10s  ", "")
+	for _, xl := range c.xLabels {
+		if len(xl) > colWidth-1 {
+			xl = xl[:colWidth-1]
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, xl)
+	}
+	b.WriteByte('\n')
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", s.Marker, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

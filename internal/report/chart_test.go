@@ -1,0 +1,109 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	ch := NewChart("demo", []string{"1", "2", "4", "8"}, 8)
+	if err := ch.Add(ChartSeries{Name: "up", Marker: '*', Y: []float64{1, 2, 4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Add(ChartSeries{Name: "down", Marker: 'o', Y: []float64{8, 4, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "*", "o", "* = up", "o = down", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Monotone series: the '*' in the first column must be below the
+	// '*' in the last column.
+	lines := strings.Split(out, "\n")
+	firstStar, lastStar := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, '*'); idx >= 0 && !strings.Contains(l, "=") {
+			if firstStar == -1 && idx < 20 {
+				firstStar = i
+			}
+		}
+	}
+	for i, l := range lines {
+		if strings.Contains(l, "=") {
+			continue
+		}
+		if idx := strings.LastIndexByte(l, '*'); idx > 20 {
+			lastStar = i
+			break
+		}
+	}
+	if firstStar >= 0 && lastStar >= 0 && lastStar >= firstStar {
+		t.Errorf("increasing series not drawn upward (first at line %d, last at %d)", firstStar, lastStar)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	ch := NewChart("log", []string{"a", "b", "c"}, 6).LogY()
+	if err := ch.Add(ChartSeries{Name: "s", Y: []float64{1, 100, 10000}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1e+04") {
+		t.Errorf("log axis label missing:\n%s", b.String())
+	}
+}
+
+func TestChartMissingPoints(t *testing.T) {
+	ch := NewChart("gaps", []string{"a", "b"}, 5)
+	if err := ch.Add(ChartSeries{Name: "s", Y: []float64{math.NaN(), 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	ch := NewChart("", []string{"a"}, 0)
+	if err := ch.Add(ChartSeries{Name: "bad", Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	var b strings.Builder
+	if err := ch.Render(&b); err == nil {
+		t.Error("empty chart rendered")
+	}
+	if err := ch.Add(ChartSeries{Name: "nan", Y: []float64{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Render(&b); err == nil {
+		t.Error("chart with no drawable points rendered")
+	}
+}
+
+func TestChartDefaultMarkersAndOverlap(t *testing.T) {
+	ch := NewChart("", []string{"a"}, 4)
+	if err := ch.Add(ChartSeries{Name: "one", Y: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Add(ChartSeries{Name: "two", Y: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "&") {
+		t.Errorf("overlap marker missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "time")
+	tb.AddRow("short", 0.5)
+	tb.AddRow("a-much-longer-name", 12.5)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "name", "time", "500.00ms", "12.500s", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header line and data lines have the name column padded
+	// to the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	idxHeader := strings.Index(lines[1], "time")
+	idxRow := strings.Index(lines[3], "500.00ms")
+	if idxHeader != idxRow {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", idxHeader, idxRow, out)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5e-7, "0.5us"},
+		{0.0005, "500.0us"},
+		{0.25, "250.00ms"},
+		{1.5, "1.500s"},
+		{250, "250.0s"},
+	}
+	for _, c := range cases {
+		if got := formatSeconds(c.in); got != c.want {
+			t.Errorf("formatSeconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddStringRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddStringRow("x", "y")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x") {
+		t.Error("string row lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddStringRow("plain", `quote"and,comma`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"quote\"\"and,comma\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(0.001, 10, 10); got != "#" {
+		t.Errorf("tiny positive value should show one mark, got %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("overflow should clamp, got %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Errorf("zero max should render empty, got %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Errorf("zero value should render empty, got %q", got)
+	}
+}

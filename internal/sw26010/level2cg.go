@@ -1,0 +1,270 @@
+package sw26010
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/dma"
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/regcomm"
+	"repro/internal/trace"
+)
+
+// RunLevel2CG runs Algorithm 2 on one core group at CPE granularity:
+// the 64 CPEs form 64/mgroup groups of mgroup CPEs; each group
+// partitions the centroid set across its members, every member reads
+// each of the group's samples, partial argmins combine with a register
+// min-reduce inside the group, and the Update step combines the
+// per-slice sums across groups — all on the mesh buses.
+//
+// mgroup must be a power of two in [1, 64]: recursive doubling with
+// partner id XOR step then always stays on a row bus (step < 8) or a
+// column bus (step >= 8), which is what makes the hardware mapping
+// legal.
+func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgroup, maxIters int, tolerance float64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if mgroup < 1 || mgroup > machine.CPEsPerCG || mgroup&(mgroup-1) != 0 {
+		return nil, fmt.Errorf("sw26010: mgroup must be a power of two in [1,64], got %d", mgroup)
+	}
+	n, d := src.N(), src.D()
+	if len(initial) == 0 || len(initial)%d != 0 {
+		return nil, fmt.Errorf("sw26010: initial centroid matrix size %d not a positive multiple of d=%d", len(initial), d)
+	}
+	if maxIters < 1 {
+		return nil, fmt.Errorf("sw26010: max iterations must be at least 1, got %d", maxIters)
+	}
+	k := len(initial) / d
+	if err := ldm.CheckLevel2(spec, k, d, mgroup); err != nil {
+		return nil, err
+	}
+
+	stats := trace.NewStats()
+	mesh := regcomm.NewMesh(spec, stats)
+	engine, err := dma.New(spec, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	mainCents := append([]float64(nil), initial...)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{K: k, D: d, Assign: assign}
+	groups := machine.CPEsPerCG / mgroup
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	iterEnd := make([]float64, maxIters)
+	var iterMu sync.Mutex
+
+	mesh.Run(func(c *regcomm.CPE) {
+		group := c.ID() / mgroup
+		member := c.ID() % mgroup
+		kLo, kHi := share(k, mgroup, member)
+		kLocal := kHi - kLo
+
+		// LDM working set: one sample, the centroid slice, the slice
+		// sums and counters.
+		alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+		for _, buf := range []struct {
+			name  string
+			elems int
+		}{
+			{"sample", d},
+			{"slice", max(1, kLocal) * d},
+			{"sums", max(1, kLocal) * d},
+			{"counts", max(1, kLocal)},
+		} {
+			if err := alloc.AllocFloats(buf.name, buf.elems); err != nil {
+				fail(fmt.Errorf("CPE %d: %w", c.ID(), err))
+				return
+			}
+		}
+		sample := make([]float64, d)
+		cents := make([]float64, kLocal*d)
+		sums := make([]float64, kLocal*d)
+		counts := make([]int64, kLocal)
+
+		lo, hi := share(n, groups, group)
+		for iter := 0; iter < maxIters; iter++ {
+			// Load this CPE's centroid slice.
+			if kLocal > 0 {
+				if err := engine.Get(c.Clock(), cents, mainCents[kLo*d:kHi*d]); err != nil {
+					fail(err)
+					return
+				}
+			}
+			for i := range sums {
+				sums[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			for i := lo; i < hi; i++ {
+				src.Sample(i, sample)
+				engine.Charge(c.Clock(), d)
+				// Partial argmin over the local slice.
+				bestJ, bestD := k, math.Inf(1)
+				for j := 0; j < kLocal; j++ {
+					cj := cents[j*d : (j+1)*d]
+					acc := 0.0
+					for u := 0; u < d; u++ {
+						diff := sample[u] - cj[u]
+						acc += diff * diff
+					}
+					if acc < bestD {
+						bestJ, bestD = kLo+j, acc
+					}
+				}
+				if kLocal > 0 {
+					stats.AddFlops(int64(d) * int64(3*kLocal))
+					c.Clock().Advance(float64(d*3*kLocal) / spec.CPU.FlopsPerCPE)
+				}
+				// a(i) = min a(i)': min-reduce within the group.
+				wJ, _, err := minReduceGroup(c, mgroup, bestJ, bestD)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if member == 0 {
+					assign[i] = wJ
+				}
+				if wJ >= kLo && wJ < kHi {
+					row := sums[(wJ-kLo)*d : (wJ-kLo+1)*d]
+					for u := 0; u < d; u++ {
+						row[u] += sample[u]
+					}
+					counts[wJ-kLo]++
+					stats.AddFlops(int64(d))
+					c.Clock().Advance(float64(d) / spec.CPU.FlopsPerCPE)
+				}
+			}
+			// Combine slice sums across the groups: recursive doubling
+			// over the CPEs holding the same slice (ids member,
+			// member+mgroup, ...).
+			for step := mgroup; step < machine.CPEsPerCG; step *= 2 {
+				partner := c.ID() ^ step
+				if err := c.Send(partner, sums, counts); err != nil {
+					fail(err)
+					return
+				}
+				dd, ii, err := c.Recv(partner)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(dd) != len(sums) || len(ii) != len(counts) {
+					fail(fmt.Errorf("sw26010: slice combine payload mismatch on CPE %d", c.ID()))
+					return
+				}
+				for j, v := range dd {
+					sums[j] += v
+				}
+				for j, v := range ii {
+					counts[j] += v
+				}
+			}
+			// Every slice holder derives identical new slice means.
+			movement := 0.0
+			for j := 0; j < kLocal; j++ {
+				if counts[j] == 0 {
+					continue
+				}
+				inv := 1 / float64(counts[j])
+				row := cents[j*d : (j+1)*d]
+				srow := sums[j*d : (j+1)*d]
+				for u := 0; u < d; u++ {
+					nv := srow[u] * inv
+					diff := nv - row[u]
+					movement += diff * diff
+					row[u] = nv
+				}
+			}
+			// Group 0's members write their slices back, then the mesh
+			// synchronizes and agrees on total movement.
+			if group == 0 && kLocal > 0 {
+				if err := engine.Put(c.Clock(), mainCents[kLo*d:kHi*d], cents); err != nil {
+					fail(err)
+					return
+				}
+			}
+			mv := []float64{0}
+			if group == 0 {
+				mv[0] = movement
+			}
+			if err := c.AllReduce(mv, nil); err != nil {
+				fail(err)
+				return
+			}
+			iterMu.Lock()
+			if t := c.Clock().Now(); t > iterEnd[iter] {
+				iterEnd[iter] = t
+			}
+			iterMu.Unlock()
+			if c.ID() == 0 {
+				res.Iters = iter + 1
+			}
+			if mv[0] <= tolerance*tolerance {
+				if c.ID() == 0 {
+					res.Converged = true
+				}
+				break
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Centroids = mainCents
+	prev := 0.0
+	for i := 0; i < res.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
+		prev = iterEnd[i]
+	}
+	return res, nil
+}
+
+// minReduceGroup combines (index, distance) pairs across the mgroup
+// CPEs starting at base, returning the minimum distance with ties to
+// the lowest index, identically on every member. Recursive doubling:
+// partners differ in one bit, so every exchange stays on a row or
+// column bus.
+func minReduceGroup(c *regcomm.CPE, mgroup, j int, dist float64) (int, float64, error) {
+	for step := 1; step < mgroup; step *= 2 {
+		partner := c.ID() ^ step
+		if err := c.Send(partner, []float64{dist}, []int64{int64(j)}); err != nil {
+			return 0, 0, err
+		}
+		dd, ii, err := c.Recv(partner)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(dd) != 1 || len(ii) != 1 {
+			return 0, 0, fmt.Errorf("sw26010: min-reduce payload mismatch on CPE %d", c.ID())
+		}
+		if dd[0] < dist || (dd[0] == dist && int(ii[0]) < j) {
+			dist, j = dd[0], int(ii[0])
+		}
+	}
+	return j, dist, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

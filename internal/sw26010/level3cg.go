@@ -1,0 +1,214 @@
+package sw26010
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/dma"
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/regcomm"
+	"repro/internal/trace"
+)
+
+// RunLevel3CG runs the dimension-partitioned kernel of Algorithm 3 on
+// one core group at CPE granularity: the d dimensions stripe across
+// the 64 CPEs, every CPE holds the matching stripe of all k centroids,
+// per-sample stripe-partial distances combine with a mesh allreduce
+// into full distance vectors, and the Update step needs no
+// communication for the vector sums at all — each CPE already owns the
+// stripes it accumulates (only the shared counters and the argmin
+// travel). This is the single-CG building block that Level 3 groups
+// into CG groups; running it standalone demonstrates the paper's
+// d-scaling claim C″2: a CG hosts one sample of up to 64·LDM/3
+// dimensions regardless of its own LDM size.
+func RunLevel3CG(spec *machine.Spec, src dataset.Source, initial []float64, batch, maxIters int, tolerance float64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, d := src.N(), src.D()
+	if len(initial) == 0 || len(initial)%d != 0 {
+		return nil, fmt.Errorf("sw26010: initial centroid matrix size %d not a positive multiple of d=%d", len(initial), d)
+	}
+	if maxIters < 1 {
+		return nil, fmt.Errorf("sw26010: max iterations must be at least 1, got %d", maxIters)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("sw26010: batch must be at least 1, got %d", batch)
+	}
+	k := len(initial) / d
+	if err := ldm.CheckLevel3(spec, k, d, 1); err != nil {
+		return nil, err
+	}
+
+	stats := trace.NewStats()
+	mesh := regcomm.NewMesh(spec, stats)
+	engine, err := dma.New(spec, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	mainCents := append([]float64(nil), initial...)
+	assign := make([]int, n)
+	res := &Result{K: k, D: d, Assign: assign}
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	iterEnd := make([]float64, maxIters)
+	var iterMu sync.Mutex
+
+	mesh.Run(func(c *regcomm.CPE) {
+		uLo, uHi := share(d, machine.CPEsPerCG, c.ID())
+		dStripe := uHi - uLo
+
+		alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+		for _, buf := range []struct {
+			name  string
+			elems int
+		}{
+			{"stripe-stream", max(1, batch*dStripe)},
+			{"centroid-stripes", max(1, k*dStripe)},
+			{"sum-stripes", max(1, k*dStripe)},
+			{"counts", k},
+			{"dist-partials", batch * k},
+		} {
+			if err := alloc.AllocFloats(buf.name, buf.elems); err != nil {
+				fail(fmt.Errorf("CPE %d: %w", c.ID(), err))
+				return
+			}
+		}
+		sample := make([]float64, d) // host-side staging; LDM holds the stripe
+		cents := make([]float64, k*dStripe)
+		sums := make([]float64, k*dStripe)
+		counts := make([]int64, k)
+		dists := make([]float64, batch*k)
+		winners := make([]int, batch)
+
+		for iter := 0; iter < maxIters; iter++ {
+			// Load the centroid stripes: columns [uLo,uHi) of each row.
+			for j := 0; j < k; j++ {
+				copy(cents[j*dStripe:(j+1)*dStripe], mainCents[j*d+uLo:j*d+uHi])
+			}
+			engine.Charge(c.Clock(), k*dStripe)
+			for i := range sums {
+				sums[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			for base := 0; base < n; base += batch {
+				m := min(batch, n-base)
+				// Stripe-partial distances for the batch.
+				for s := 0; s < m; s++ {
+					src.Sample(base+s, sample)
+					engine.Charge(c.Clock(), dStripe)
+					for j := 0; j < k; j++ {
+						cj := cents[j*dStripe : (j+1)*dStripe]
+						acc := 0.0
+						for u := 0; u < dStripe; u++ {
+							diff := sample[uLo+u] - cj[u]
+							acc += diff * diff
+						}
+						dists[s*k+j] = acc
+					}
+				}
+				if dStripe > 0 {
+					stats.AddFlops(int64(m) * int64(k) * int64(3*dStripe))
+					c.Clock().Advance(float64(m*k*3*dStripe) / spec.CPU.FlopsPerCPE)
+				}
+				// Mesh allreduce turns stripe partials into full
+				// distances, identically on every CPE.
+				if err := c.AllReduce(dists[:m*k], nil); err != nil {
+					fail(err)
+					return
+				}
+				// Identical argmin everywhere; accumulate own stripes.
+				for s := 0; s < m; s++ {
+					best, bestD := 0, dists[s*k]
+					for j := 1; j < k; j++ {
+						if dists[s*k+j] < bestD {
+							best, bestD = j, dists[s*k+j]
+						}
+					}
+					winners[s] = best
+					counts[best]++
+				}
+				for s := 0; s < m; s++ {
+					src.Sample(base+s, sample)
+					row := sums[winners[s]*dStripe : (winners[s]+1)*dStripe]
+					for u := 0; u < dStripe; u++ {
+						row[u] += sample[uLo+u]
+					}
+				}
+				if dStripe > 0 {
+					c.Clock().Advance(float64(m*dStripe) / spec.CPU.FlopsPerCPE)
+				}
+				if c.ID() == 0 {
+					for s := 0; s < m; s++ {
+						assign[base+s] = winners[s]
+					}
+				}
+			}
+			// Update: every CPE owns its stripes outright; only the
+			// movement needs combining across stripes.
+			movement := 0.0
+			for j := 0; j < k; j++ {
+				if counts[j] == 0 {
+					continue
+				}
+				inv := 1 / float64(counts[j])
+				row := cents[j*dStripe : (j+1)*dStripe]
+				srow := sums[j*dStripe : (j+1)*dStripe]
+				for u := 0; u < dStripe; u++ {
+					nv := srow[u] * inv
+					diff := nv - row[u]
+					movement += diff * diff
+					row[u] = nv
+				}
+			}
+			// Write the stripes back (disjoint columns), then agree on
+			// the total movement mesh-wide (doubles as the barrier).
+			for j := 0; j < k; j++ {
+				copy(mainCents[j*d+uLo:j*d+uHi], cents[j*dStripe:(j+1)*dStripe])
+			}
+			engine.Charge(c.Clock(), k*dStripe)
+			mv := []float64{movement}
+			if err := c.AllReduce(mv, nil); err != nil {
+				fail(err)
+				return
+			}
+			iterMu.Lock()
+			if t := c.Clock().Now(); t > iterEnd[iter] {
+				iterEnd[iter] = t
+			}
+			iterMu.Unlock()
+			if c.ID() == 0 {
+				res.Iters = iter + 1
+			}
+			if mv[0] <= tolerance*tolerance {
+				if c.ID() == 0 {
+					res.Converged = true
+				}
+				break
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Centroids = mainCents
+	prev := 0.0
+	for i := 0; i < res.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
+		prev = iterEnd[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,341 @@
+package sw26010
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/dma"
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/regcomm"
+	"repro/internal/trace"
+)
+
+// RunLevel3Group is the complete Algorithm 3 at full granularity:
+// mPrime core groups — each simulated as 64 CPE goroutines on its own
+// register-communication mesh — form one CG group that partitions the
+// centroid set, every CG holds its centroid slice striped across its
+// CPEs by dimension, stripe-partial distances combine on the mesh,
+// the group min-reduce (a(i) = min a(i)') runs over MPI between the
+// CGs' managing processing elements, and the Update step needs no
+// inter-CG sum exchange because each CG owns its slice outright (one
+// CG group means the dataflow is not partitioned further).
+//
+// This is the finest-grained reference of the paper's contribution:
+// all three partition dimensions realized on the actual substrates.
+// The coarse engine in internal/core is the scalable equivalent; the
+// test suite checks both produce sequential Lloyd's clustering.
+func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, mPrime, batch, maxIters int, tolerance float64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if mPrime < 1 || mPrime > spec.CGs() {
+		return nil, fmt.Errorf("sw26010: m'group must be in [1,%d], got %d", spec.CGs(), mPrime)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("sw26010: batch must be at least 1, got %d", batch)
+	}
+	if maxIters < 1 {
+		return nil, fmt.Errorf("sw26010: max iterations must be at least 1, got %d", maxIters)
+	}
+	n, d := src.N(), src.D()
+	if len(initial) == 0 || len(initial)%d != 0 {
+		return nil, fmt.Errorf("sw26010: initial centroid matrix size %d not a positive multiple of d=%d", len(initial), d)
+	}
+	k := len(initial) / d
+	if err := ldm.CheckLevel3(spec, k, d, mPrime); err != nil {
+		return nil, err
+	}
+
+	stats := trace.NewStats()
+	world, err := mpi.NewWorld(spec, stats, mPrime)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := dma.New(spec, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	assign := make([]int, n)
+	res := &Result{K: k, D: d, Assign: assign}
+	finalCents := make([]float64, k*d)
+	slices := make([][]float64, mPrime)
+	var itersMu sync.Mutex
+	iterEnd := make([]float64, maxIters)
+	itersRan := 0
+	converged := false
+
+	runErr := world.Run(func(c *mpi.Comm) error {
+		pos := c.Rank()
+		kLo, kHi := share(k, mPrime, pos)
+		kLocal := kHi - kLo
+
+		// This CG's mesh: 64 CPE goroutines under this MPI rank. The
+		// mesh clocks start from the rank's clock so both time lines
+		// agree.
+		mesh := regcomm.NewMesh(spec, stats)
+
+		// Per-CPE persistent state across iterations, prepared by the
+		// mesh kernel on first use: centroid stripes and stripe sums.
+		type cpeState struct {
+			cents []float64
+			sums  []float64
+		}
+		states := make([]*cpeState, machine.CPEsPerCG)
+		counts := make([]int64, max(1, kLocal))
+		// Full distance matrix for one batch against the local slice,
+		// assembled by the mesh allreduce (identical on every CPE; the
+		// MPE reads it afterwards).
+		dists := make([]float64, batch*max(1, kLocal))
+		vals := make([]float64, batch)
+		ids := make([]int64, batch)
+
+		cents := append([]float64(nil), initial[kLo*d:kHi*d]...)
+
+		for iter := 0; iter < maxIters; iter++ {
+			for j := range counts {
+				counts[j] = 0
+			}
+			var meshErr error
+			var meshMu sync.Mutex
+			fail := func(err error) {
+				meshMu.Lock()
+				if meshErr == nil {
+					meshErr = err
+				}
+				meshMu.Unlock()
+			}
+			// Phase A (on the mesh): load stripes, zero sums.
+			mesh.Run(func(cp *regcomm.CPE) {
+				uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
+				dStripe := uHi - uLo
+				st := states[cp.ID()]
+				if st == nil {
+					alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+					for _, buf := range []struct {
+						name  string
+						elems int
+					}{
+						{"stripe-stream", max(1, batch*dStripe)},
+						{"centroid-stripes", max(1, kLocal*dStripe)},
+						{"sum-stripes", max(1, kLocal*dStripe)},
+						{"counts", max(1, kLocal)},
+						{"dist-partials", batch * max(1, kLocal)},
+					} {
+						if err := alloc.AllocFloats(buf.name, buf.elems); err != nil {
+							fail(fmt.Errorf("CG %d CPE %d: %w", pos, cp.ID(), err))
+							return
+						}
+					}
+					st = &cpeState{
+						cents: make([]float64, kLocal*dStripe),
+						sums:  make([]float64, kLocal*dStripe),
+					}
+					states[cp.ID()] = st
+				}
+				for j := 0; j < kLocal; j++ {
+					copy(st.cents[j*dStripe:(j+1)*dStripe], cents[j*d+uLo:j*d+uHi])
+				}
+				engine.Charge(cp.Clock(), kLocal*dStripe)
+				for i := range st.sums {
+					st.sums[i] = 0
+				}
+			})
+			if meshErr != nil {
+				return meshErr
+			}
+
+			// Batches: mesh computes full local distances, the MPE
+			// min-reduces across the group over MPI, the mesh
+			// accumulates the winners' stripes.
+			for base := 0; base < n; base += batch {
+				m := min(batch, n-base)
+				mesh.Run(func(cp *regcomm.CPE) {
+					uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
+					dStripe := uHi - uLo
+					st := states[cp.ID()]
+					sample := make([]float64, d)
+					part := make([]float64, m*max(1, kLocal))
+					for s := 0; s < m; s++ {
+						src.Sample(base+s, sample)
+						engine.Charge(cp.Clock(), dStripe)
+						for j := 0; j < kLocal; j++ {
+							cj := st.cents[j*dStripe : (j+1)*dStripe]
+							acc := 0.0
+							for u := 0; u < dStripe; u++ {
+								diff := sample[uLo+u] - cj[u]
+								acc += diff * diff
+							}
+							part[s*kLocal+j] = acc
+						}
+					}
+					if dStripe > 0 && kLocal > 0 {
+						stats.AddFlops(int64(m) * int64(kLocal) * int64(3*dStripe))
+						cp.Clock().Advance(float64(m*kLocal*3*dStripe) / spec.CPU.FlopsPerCPE)
+					}
+					if kLocal > 0 {
+						if err := cp.AllReduce(part, nil); err != nil {
+							fail(err)
+							return
+						}
+					}
+					if cp.ID() == 0 {
+						copy(dists[:m*max(1, kLocal)], part)
+					}
+				})
+				if meshErr != nil {
+					return meshErr
+				}
+				// MPE: local argmin per sample, then the group
+				// min-reduce over MPI. The MPE continues from the
+				// mesh's completion time.
+				c.Clock().AdvanceTo(meshMax(mesh))
+				for s := 0; s < m; s++ {
+					if kLocal == 0 {
+						vals[s] = math.Inf(1)
+						ids[s] = int64(k)
+						continue
+					}
+					best, bestD := 0, dists[s*kLocal]
+					for j := 1; j < kLocal; j++ {
+						if dists[s*kLocal+j] < bestD {
+							best, bestD = j, dists[s*kLocal+j]
+						}
+					}
+					vals[s] = bestD
+					ids[s] = int64(kLo + best)
+				}
+				if err := c.AllReduceMinPairs(vals[:m], ids[:m]); err != nil {
+					return err
+				}
+				if pos == 0 {
+					for s := 0; s < m; s++ {
+						assign[base+s] = int(ids[s])
+					}
+				}
+				for s := 0; s < m; s++ {
+					w := int(ids[s])
+					if w >= kLo && w < kHi {
+						counts[w-kLo]++
+					}
+				}
+				// Mesh accumulates the stripes of samples this CG won;
+				// mesh clocks re-sync from the MPE (the min-reduce
+				// result gates the accumulation).
+				syncMesh(mesh, c.Clock().Now())
+				mesh.Run(func(cp *regcomm.CPE) {
+					uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
+					dStripe := uHi - uLo
+					st := states[cp.ID()]
+					sample := make([]float64, d)
+					for s := 0; s < m; s++ {
+						w := int(ids[s])
+						if w < kLo || w >= kHi {
+							continue
+						}
+						src.Sample(base+s, sample)
+						row := st.sums[(w-kLo)*dStripe : (w-kLo+1)*dStripe]
+						for u := 0; u < dStripe; u++ {
+							row[u] += sample[uLo+u]
+						}
+					}
+					if dStripe > 0 {
+						cp.Clock().Advance(float64(m*dStripe) / spec.CPU.FlopsPerCPE)
+					}
+				})
+				if meshErr != nil {
+					return meshErr
+				}
+			}
+
+			// Update (on the mesh): every CPE owns its stripes; write
+			// the new slice back into the rank's centroid buffer.
+			var movementMu sync.Mutex
+			movement := 0.0
+			mesh.Run(func(cp *regcomm.CPE) {
+				uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
+				dStripe := uHi - uLo
+				st := states[cp.ID()]
+				local := 0.0
+				for j := 0; j < kLocal; j++ {
+					if counts[j] == 0 {
+						continue
+					}
+					inv := 1 / float64(counts[j])
+					row := st.sums[j*dStripe : (j+1)*dStripe]
+					for u := 0; u < dStripe; u++ {
+						nv := row[u] * inv
+						diff := nv - cents[j*d+uLo+u]
+						local += diff * diff
+						cents[j*d+uLo+u] = nv
+					}
+				}
+				engine.Charge(cp.Clock(), kLocal*dStripe)
+				movementMu.Lock()
+				movement += local
+				movementMu.Unlock()
+			})
+			if meshErr != nil {
+				return meshErr
+			}
+			c.Clock().AdvanceTo(meshMax(mesh))
+
+			// Convergence across slices.
+			mv := []float64{movement}
+			if err := c.AllReduceSum(mv, nil); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			itersMu.Lock()
+			if t := c.Clock().Now(); t > iterEnd[iter] {
+				iterEnd[iter] = t
+			}
+			if pos == 0 {
+				itersRan = iter + 1
+			}
+			itersMu.Unlock()
+			if mv[0] <= tolerance*tolerance {
+				if pos == 0 {
+					itersMu.Lock()
+					converged = true
+					itersMu.Unlock()
+				}
+				break
+			}
+		}
+		slices[pos] = cents
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	for pos := 0; pos < mPrime; pos++ {
+		kLo, _ := share(k, mPrime, pos)
+		copy(finalCents[kLo*d:], slices[pos])
+	}
+	res.Centroids = finalCents
+	res.Iters = itersRan
+	res.Converged = converged
+	prev := 0.0
+	for i := 0; i < res.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
+		prev = iterEnd[i]
+	}
+	return res, nil
+}
+
+// meshMax returns the latest CPE clock of a mesh.
+func meshMax(m *regcomm.Mesh) float64 {
+	return m.MaxTime()
+}
+
+// syncMesh advances every CPE clock of the mesh to at least t.
+func syncMesh(m *regcomm.Mesh, t float64) {
+	m.AdvanceTo(t)
+}

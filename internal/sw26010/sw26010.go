@@ -1,0 +1,257 @@
+// Package sw26010 executes k-means at full CPE granularity on one
+// simulated core group: 64 CPE goroutines, explicit LDM buffer
+// allocation against the 64 KB budget, per-chunk DMA streaming and a
+// real register-communication allreduce over the 8x8 mesh.
+//
+// The large-scale engines in internal/core simulate the CPEs of a CG
+// inside one goroutine with closed-form cost charging — that is what
+// makes 16,384-CG runs tractable. This package is the fine-grained
+// reference implementation of Algorithm 1 on the substrates
+// themselves; the test suite uses it to validate that the coarse CG
+// executor produces the same clustering and a consistent virtual-time
+// profile.
+package sw26010
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/dma"
+	"repro/internal/ldm"
+	"repro/internal/machine"
+	"repro/internal/regcomm"
+	"repro/internal/trace"
+)
+
+// Result reports a single-CG fine-grained run.
+type Result struct {
+	Centroids []float64
+	Assign    []int
+	K, D      int
+	Iters     int
+	Converged bool
+	// IterTimes is the simulated completion time of each iteration:
+	// the maximum CPE clock delta across the mesh.
+	IterTimes []float64
+}
+
+// RunLevel1CG runs Algorithm 1 on one core group: the dataflow is
+// partitioned across the 64 CPEs, every CPE keeps the full centroid
+// set resident in its LDM (constraint C1 is enforced by actually
+// allocating the buffers), samples stream through a double-buffered
+// DMA chunk, and the Update step's two AllReduce operations run as
+// real register communication on the mesh.
+func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxIters int, tolerance float64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, d := src.N(), src.D()
+	if len(initial) == 0 || len(initial)%d != 0 {
+		return nil, fmt.Errorf("sw26010: initial centroid matrix size %d not a positive multiple of d=%d", len(initial), d)
+	}
+	if maxIters < 1 {
+		return nil, fmt.Errorf("sw26010: max iterations must be at least 1, got %d", maxIters)
+	}
+	k := len(initial) / d
+	if err := ldm.CheckLevel1(spec, k, d); err != nil {
+		return nil, err
+	}
+
+	stats := trace.NewStats()
+	mesh := regcomm.NewMesh(spec, stats)
+	engine, err := dma.New(spec, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared "main memory": the centroid matrix CPE 0 writes back each
+	// iteration. Guarded by a phase barrier below, so no mutex is
+	// needed for the data itself.
+	mainCents := append([]float64(nil), initial...)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{K: k, D: d, Assign: assign}
+
+	// chunk is how many samples one stream buffer holds; sized so the
+	// full working set honours the LDM budget.
+	chunk := chunkSamples(spec, k, d)
+	if chunk < 1 {
+		return nil, fmt.Errorf("sw26010: no LDM budget left for sample streaming at k=%d d=%d", k, d)
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	iterEnd := make([]float64, maxIters) // max clock after each iteration
+	var iterMu sync.Mutex
+
+	mesh.Run(func(c *regcomm.CPE) {
+		// Explicit LDM allocation: one whole sample chunk, the full
+		// centroid set, the accumulated vector sums and the counters —
+		// exactly the working set of constraint C1.
+		alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+		for _, buf := range []struct {
+			name  string
+			elems int
+		}{
+			{"stream", chunk * d},
+			{"centroids", k * d},
+			{"sums", k * d},
+			{"counts", k},
+		} {
+			if err := alloc.AllocFloats(buf.name, buf.elems); err != nil {
+				fail(fmt.Errorf("CPE %d: %w", c.ID(), err))
+				return
+			}
+		}
+		stream := make([]float64, chunk*d)
+		cents := make([]float64, k*d)
+		sums := make([]float64, k*d)
+		counts := make([]int64, k)
+
+		lo, hi := share(n, machine.CPEsPerCG, c.ID())
+		for iter := 0; iter < maxIters; iter++ {
+			// Load the centroid set from main memory.
+			if err := engine.Get(c.Clock(), cents, mainCents); err != nil {
+				fail(err)
+				return
+			}
+			for i := range sums {
+				sums[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			// Stream owned samples chunk by chunk.
+			for base := lo; base < hi; base += chunk {
+				m := min(chunk, hi-base)
+				for s := 0; s < m; s++ {
+					src.Sample(base+s, stream[s*d:(s+1)*d])
+				}
+				engine.Charge(c.Clock(), m*d)
+				for s := 0; s < m; s++ {
+					x := stream[s*d : (s+1)*d]
+					best, bestD := -1, 0.0
+					for j := 0; j < k; j++ {
+						cj := cents[j*d : (j+1)*d]
+						acc := 0.0
+						for u := 0; u < d; u++ {
+							diff := x[u] - cj[u]
+							acc += diff * diff
+						}
+						if best < 0 || acc < bestD {
+							best, bestD = j, acc
+						}
+					}
+					assign[base+s] = best
+					row := sums[best*d : (best+1)*d]
+					for u := 0; u < d; u++ {
+						row[u] += x[u]
+					}
+					counts[best]++
+					stats.AddFlops(int64(d) * int64(3*k+1))
+				}
+				c.Clock().Advance(float64(m*d*(3*k+1)) / spec.CPU.FlopsPerCPE)
+			}
+			// The two AllReduce operations of Algorithm 1 line 14, as
+			// one fused register-communication allreduce.
+			if err := c.AllReduce(sums, counts); err != nil {
+				fail(err)
+				return
+			}
+			// Every CPE derives the identical new centroid set.
+			movement := 0.0
+			for j := 0; j < k; j++ {
+				if counts[j] == 0 {
+					continue
+				}
+				inv := 1 / float64(counts[j])
+				row := cents[j*d : (j+1)*d]
+				srow := sums[j*d : (j+1)*d]
+				for u := 0; u < d; u++ {
+					nv := srow[u] * inv
+					diff := nv - row[u]
+					movement += diff * diff
+					row[u] = nv
+				}
+			}
+			// CPE 0 writes the result back to main memory, then the
+			// mesh synchronizes (an empty allreduce is a barrier) so
+			// no CPE starts the next iteration's centroid load before
+			// the write-back lands.
+			if c.ID() == 0 {
+				if err := engine.Put(c.Clock(), mainCents, cents); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := c.AllReduce(nil, nil); err != nil {
+				fail(err)
+				return
+			}
+			iterMu.Lock()
+			if t := c.Clock().Now(); t > iterEnd[iter] {
+				iterEnd[iter] = t
+			}
+			iterMu.Unlock()
+			if c.ID() == 0 {
+				res.Iters = iter + 1
+			}
+			if movement <= tolerance*tolerance {
+				if c.ID() == 0 {
+					res.Converged = true
+				}
+				break
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Centroids = mainCents
+	prev := 0.0
+	for i := 0; i < res.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
+		prev = iterEnd[i]
+	}
+	return res, nil
+}
+
+// chunkSamples sizes the per-CPE stream buffer: the LDM must hold the
+// chunk plus the centroid set, the sums and the counters.
+func chunkSamples(spec *machine.Spec, k, d int) int {
+	capElems := ldm.ElemsPerLDM(spec.LDMBytesPerCPE)
+	free := capElems - 2*k*d - k
+	chunk := free / d
+	if chunk > 64 {
+		chunk = 64
+	}
+	return chunk
+}
+
+func share(n, p, r int) (int, int) {
+	base := n / p
+	extra := n % p
+	lo := r*base + min(r, extra)
+	hi := lo + base
+	if r < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package vclock implements the virtual-time substrate of the machine
+// simulator. Every parallel unit (a core group in the large-scale
+// engines, a CPE in the fine-grained substrates) owns a Clock that is
+// advanced by the cost of the operations it executes. Communication
+// reconciles clocks: a receive cannot complete before the matching send
+// was issued, and collective operations synchronize all participants to
+// the maximum participant time plus the cost of the collective.
+//
+// The resulting per-run maximum clock value is exactly the paper's
+// metric: one-iteration completion time on the simulated machine.
+package vclock
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Clock is the virtual time line of one simulated parallel unit.
+// A Clock is not safe for concurrent use; each simulated unit owns its
+// clock exclusively and cross-unit reconciliation happens through
+// message timestamps or Group synchronization.
+type Clock struct {
+	t float64
+}
+
+// New returns a clock at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.t }
+
+// Advance moves the clock forward by d seconds. Negative or NaN
+// durations are rejected with a panic: they always indicate a bug in a
+// cost model, and silently accepting them would corrupt every
+// downstream measurement.
+func (c *Clock) Advance(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("vclock: invalid advance %v", d))
+	}
+	c.t += d
+}
+
+// AdvanceTo moves the clock forward to time t if t is later than the
+// current time; earlier times leave the clock unchanged (virtual time
+// never runs backwards).
+func (c *Clock) AdvanceTo(t float64) {
+	if math.IsNaN(t) {
+		panic("vclock: advance to NaN")
+	}
+	if t > c.t {
+		c.t = t
+	}
+}
+
+// Reset returns the clock to zero. Engines reset clocks between
+// iterations when they measure per-iteration time directly.
+func (c *Clock) Reset() { c.t = 0 }
+
+// MaxTime returns the latest time across the given clocks, i.e. the
+// completion time of a fork-join region whose branches own the clocks.
+func MaxTime(clocks ...*Clock) float64 {
+	m := 0.0
+	for _, c := range clocks {
+		if c.t > m {
+			m = c.t
+		}
+	}
+	return m
+}
+
+// SyncAll advances every clock to the maximum across all of them plus
+// an extra synchronization cost, modelling a barrier or the completion
+// of a collective. It returns the synchronized time.
+func SyncAll(extra float64, clocks ...*Clock) float64 {
+	if extra < 0 || math.IsNaN(extra) {
+		panic(fmt.Sprintf("vclock: invalid sync cost %v", extra))
+	}
+	t := MaxTime(clocks...) + extra
+	for _, c := range clocks {
+		c.t = t
+	}
+	return t
+}
+
+// Group synchronizes a fixed set of concurrent participants, each
+// owning its own Clock, the way a barrier-style collective does:
+// every participant enters with its local time, all block until the
+// last arrives, and all leave at max(entry times) + extra.
+//
+// Group is safe for concurrent use by exactly Size participants per
+// round and may be reused for any number of rounds.
+type Group struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting int
+	round   uint64
+	maxT    float64 // running max of the round currently filling
+	release float64 // release time of the last completed round
+}
+
+// NewGroup returns a synchronization group for n participants.
+// It panics when n is not positive.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("vclock: group size must be positive, got %d", n))
+	}
+	g := &Group{size: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Size returns the number of participants per round.
+func (g *Group) Size() int { return g.size }
+
+// Sync enters the barrier with the participant's clock, blocks until
+// all participants of the round have entered, advances the clock to
+// max(entry times) + extra and returns the synchronized time.
+func (g *Group) Sync(c *Clock, extra float64) float64 {
+	if extra < 0 || math.IsNaN(extra) {
+		panic(fmt.Sprintf("vclock: invalid sync cost %v", extra))
+	}
+	g.mu.Lock()
+	myRound := g.round
+	if g.waiting == 0 {
+		// First arrival of a fresh round: the round's max starts from
+		// this participant's time, so a stale release time from the
+		// previous round (e.g. after the caller Reset its clocks) never
+		// leaks into the new round.
+		g.maxT = c.t
+	} else if c.t > g.maxT {
+		g.maxT = c.t
+	}
+	g.waiting++
+	if g.waiting == g.size {
+		// Last arrival releases the round. The release time is stored
+		// separately from maxT so that the first arrival of the next
+		// round (which resets maxT) cannot clobber it before slower
+		// waiters of this round have woken up and read it.
+		g.release = g.maxT + extra
+		g.waiting = 0
+		g.round++
+		t := g.release
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		c.t = t
+		return t
+	}
+	for g.round == myRound {
+		g.cond.Wait()
+	}
+	t := g.release
+	g.mu.Unlock()
+	c.AdvanceTo(t)
+	return t
+}

@@ -1,0 +1,144 @@
+// Package repro is the public API of the reproduction of "Large-Scale
+// Hierarchical k-means for Heterogeneous Many-Core Supercomputers"
+// (Li et al., SC 2018): multi-level data-partitioned parallel k-means
+// on a simulated Sunway TaihuLight.
+//
+// The minimal workflow:
+//
+//	spec, _ := repro.NewMachine(2) // 2 SW26010 nodes = 8 core groups
+//	src, _ := repro.GaussianMixture("demo", 10_000, 64, 8, 0.2, 2.0, 1)
+//	res, _ := repro.Run(repro.Config{
+//	        Spec:  spec,
+//	        Level: repro.Level3,
+//	        K:     8,
+//	}, src)
+//	fmt.Println(res.MeanIterTime(), "simulated seconds per iteration")
+//
+// Three partition levels are available (Section III of the paper):
+// Level1 partitions the dataflow, Level2 additionally partitions the
+// centroid set across CPE groups, and Level3 — the paper's
+// contribution — partitions dataflow, centroids and dimensions
+// simultaneously, which removes every pairwise capacity constraint
+// between n, k and d. Run validates the configured level against the
+// machine's LDM capacity constraints and returns a descriptive error
+// for shapes the level cannot host, exactly like the real system.
+//
+// All times reported in Result are simulated seconds on the modelled
+// machine (one-iteration completion time, the paper's metric), not
+// host wall-clock time. The analytic model in internal/perfmodel
+// extends the same cost model to paper-scale configurations that are
+// infeasible to execute functionally.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/quality"
+	"repro/internal/trace"
+)
+
+// Re-exported core types; see the internal/core documentation for
+// field-level details.
+type (
+	// Config describes one clustering run on the simulated machine.
+	Config = core.Config
+	// Result reports centroids, assignments, per-iteration simulated
+	// times and traffic.
+	Result = core.Result
+	// Plan is the validated partition plan of a run.
+	Plan = core.Plan
+	// Level selects the partition strategy.
+	Level = core.Level
+	// InitMethod selects centroid initialization.
+	InitMethod = core.InitMethod
+	// Machine describes the simulated deployment.
+	Machine = machine.Spec
+	// Source streams dataset samples.
+	Source = dataset.Source
+	// Stats accumulates traffic counters.
+	Stats = trace.Stats
+)
+
+// Partition levels (Section III). LevelAuto lets Run choose the
+// cheapest feasible level for the problem shape (Section III.D's
+// flexibility argument).
+const (
+	LevelAuto = core.LevelAuto
+	Level1    = core.Level1
+	Level2    = core.Level2
+	Level3    = core.Level3
+)
+
+// Initialization methods.
+const (
+	InitBlocks         = core.InitBlocks
+	InitKMeansPlusPlus = core.InitKMeansPlusPlus
+)
+
+// NewMachine returns a simulated deployment of n SW26010 nodes with
+// the published TaihuLight parameters (4 CGs per node, 64 CPEs and
+// 64 KB LDM per CG member, 32/46.4/16 GB/s fabric bandwidths).
+func NewMachine(nodes int) (*Machine, error) { return machine.NewSpec(nodes) }
+
+// NewStats returns an empty traffic counter set to attach to a Config.
+func NewStats() *Stats { return trace.NewStats() }
+
+// Run clusters src on the simulated machine; see core.Run.
+func Run(cfg Config, src Source) (*Result, error) { return core.Run(cfg, src) }
+
+// PlanFor validates cfg against the machine's capacity constraints for
+// a dataset of n samples and d dimensions, returning the partition
+// plan Run would execute.
+func PlanFor(cfg Config, n, d int) (Plan, error) { return core.PlanFor(cfg, n, d) }
+
+// Lloyd runs the sequential baseline on the host; see core.Lloyd.
+func Lloyd(src Source, k, maxIters int, tolerance float64, seed uint64) (*Result, error) {
+	return core.Lloyd(src, k, maxIters, tolerance, seed)
+}
+
+// GaussianMixture builds a deterministic streaming mixture workload;
+// see dataset.NewGaussianMixture.
+func GaussianMixture(name string, n, d, components int, spread, separation float64, seed uint64) (*dataset.GaussianMixture, error) {
+	return dataset.NewGaussianMixture(name, n, d, components, spread, separation, seed)
+}
+
+// ARI computes the Adjusted Rand Index between two labelings; see
+// quality.ARI.
+func ARI(a, b []int) (float64, error) { return quality.ARI(a, b) }
+
+// Objective computes the paper's k-means objective O(C); see
+// quality.Objective.
+func Objective(src Source, centroids []float64, d int, assign []int) (float64, error) {
+	return quality.Objective(src, centroids, d, assign)
+}
+
+// Scenario is an operating point for paper-scale predictions.
+type Scenario = perfmodel.Scenario
+
+// Prediction is a modelled one-iteration completion time with its
+// cost breakdown.
+type Prediction = perfmodel.Prediction
+
+// Predict models one iteration at paper scale — configurations whose
+// raw compute exceeds what the functional simulator can execute; see
+// perfmodel.Predict. Times are calibrated, paper-comparable seconds.
+func Predict(level Level, sc Scenario) (Prediction, error) {
+	return perfmodel.Predict(level, sc)
+}
+
+// BestLevel predicts all feasible levels for the scenario and returns
+// the fastest; see perfmodel.BestLevel.
+func BestLevel(sc Scenario) (Prediction, error) { return perfmodel.BestLevel(sc) }
+
+// Machine presets for well-known deployments.
+const (
+	PresetFull       = machine.PresetFull       // full TaihuLight, 40,960 nodes
+	PresetHeadline   = machine.PresetHeadline   // the paper's 4,096-node setup
+	PresetComparison = machine.PresetComparison // the Figure 7-9 setup, 128 nodes
+	PresetProcessor  = machine.PresetProcessor  // one SW26010 processor
+)
+
+// NewMachinePreset returns a named deployment; see machine.Preset.
+func NewMachinePreset(name string) (*Machine, error) { return machine.Preset(name) }

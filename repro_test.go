@@ -1,0 +1,106 @@
+package repro
+
+import "testing"
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	spec, err := NewMachine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GaussianMixture("api", 400, 16, 4, 0.15, 2.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := NewStats()
+	res, err := Run(Config{
+		Spec:  spec,
+		Level: Level3,
+		K:     4,
+		Init:  InitKMeansPlusPlus,
+		Stats: stats,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 || res.D != 16 {
+		t.Errorf("result shape %dx%d", res.K, res.D)
+	}
+	if res.MeanIterTime() <= 0 {
+		t.Error("no simulated time")
+	}
+	truth := make([]int, src.N())
+	for i := range truth {
+		truth[i] = src.TrueLabel(i)
+	}
+	ari, err := ARI(res.Assign, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Errorf("ARI = %g", ari)
+	}
+	obj, err := Objective(src, res.Centroids, res.D, res.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj <= 0 {
+		t.Errorf("objective = %g", obj)
+	}
+	ref, err := Lloyd(src, 4, 20, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refObj, err := Objective(src, ref.Centroids, ref.D, ref.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both converged solutions of the same data; kmeans++ must not be
+	// worse than a converged block-init run by a large factor.
+	if obj > refObj*2 {
+		t.Errorf("objective %g vs Lloyd %g", obj, refObj)
+	}
+}
+
+func TestPublicPlanFor(t *testing.T) {
+	spec, err := NewMachine(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFor(Config{Spec: spec, Level: Level3, K: 2000}, 1265723, 196608)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MPrimeGroup < 751 {
+		t.Errorf("headline plan m'group = %d", plan.MPrimeGroup)
+	}
+}
+
+func TestPublicPredict(t *testing.T) {
+	p, err := Predict(Level3, Scenario{Nodes: 4096, N: 1265723, K: 2000, D: 196608})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total <= 0 || p.Total >= 18 {
+		t.Errorf("headline prediction = %g", p.Total)
+	}
+	best, err := BestLevel(Scenario{Nodes: 1, N: 100000, K: 64, D: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Total <= 0 {
+		t.Error("best level prediction empty")
+	}
+}
+
+func TestPublicPresets(t *testing.T) {
+	m, err := NewMachinePreset(PresetHeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 4096 {
+		t.Errorf("headline preset nodes = %d", m.Nodes)
+	}
+	if _, err := NewMachinePreset("bogus"); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
