@@ -1,0 +1,25 @@
+# Standard entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GO ?= go
+
+.PHONY: check build vet lint test race
+
+# check is the full gate: build, vet, swlint, tests under the race
+# detector.
+check: build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/swlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

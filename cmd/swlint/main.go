@@ -1,0 +1,77 @@
+// Command swlint runs the project's static-analysis pass over the
+// module. It enforces the simulator's paper-level invariants that the
+// compiler cannot see; see docs/STATIC_ANALYSIS.md for the rule
+// catalogue and the suppression syntax.
+//
+// Usage:
+//
+//	go run ./cmd/swlint ./...
+//	go run ./cmd/swlint ./internal/mpi ./internal/vclock
+//	go run ./cmd/swlint -list
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on
+// load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: swlint [-list] <package patterns>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "swlint:", err)
+		return 2
+	}
+	cfg, err := lint.DefaultConfig(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "swlint:", err)
+		return 2
+	}
+
+	if *list {
+		for _, r := range lint.AllRules(cfg) {
+			fmt.Fprintf(stdout, "%-14s %s\n", r.ID(), r.Doc())
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+	findings, err := lint.Run(cfg, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "swlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "swlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, id := range []string{"no-wallclock", "float-eq", "guarded-field", "err-wrap", "ldm-capacity"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing rule %s:\n%s", id, stdout.String())
+		}
+	}
+}
+
+func TestUsageOnNoPatterns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no patterns exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("expected usage on stderr, got: %s", stderr.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/vclock"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean package exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+// TestSeededViolationExitsNonZero is the acceptance check that a rule
+// violation makes swlint fail with the rule ID and position: it lints
+// the float-eq fixture tree directly.
+func TestSeededViolationExitsNonZero(t *testing.T) {
+	cfg, err := lint.DefaultConfig(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(cfg.ModuleRoot, "internal", "lint", "testdata", "src", "floateq")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{fixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("seeded violations exited %d, want 1\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "float-eq") || !strings.Contains(out, "floateq.go:8:") {
+		t.Errorf("output missing rule ID or position:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("expected finding count on stderr, got: %s", stderr.String())
+	}
+}

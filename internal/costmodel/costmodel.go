@@ -94,7 +94,7 @@ func maxInt(a, b int) int {
 // half of the LDM reserved for sample residency while centroid tiles
 // stream through the other half.
 func residentBatch(spec *machine.Spec, dims int) int {
-	return maxInt(1, ldm.ElemsPerLDM(spec.LDMBytesPerCPE)/2/maxInt(dims, 1))
+	return ldm.ResidentBatch(spec, dims)
 }
 
 // Level1 models Algorithm 1 on one CG owning nLocal samples: every

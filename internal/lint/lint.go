@@ -1,0 +1,186 @@
+// Package lint implements swlint, the project's static-analysis pass.
+//
+// The simulator's correctness rests on invariants the Go compiler
+// cannot see: virtual-clock determinism (no wall-clock or global
+// randomness inside simulation packages), the paper's LDM capacity
+// constraints (d(1+2k)+k ≤ m·LDM and friends, which must be checked
+// centrally rather than re-derived by hand at every allocation site),
+// tolerance-aware floating-point comparisons, mutex discipline on the
+// shared state of the goroutine-per-unit substrates, and error
+// wrapping that keeps ldm.ConstraintError and friends inspectable
+// through errors.As. Each rule in this package mechanically enforces
+// one of those invariants; docs/STATIC_ANALYSIS.md ties every rule to
+// the paper section it protects.
+//
+// The package is stdlib-only (go/parser + go/types with a source
+// importer); go.mod stays dependency-free. Rules are unit-testable
+// against fixture trees under testdata/, and every finding can be
+// suppressed at the offending line with:
+//
+//	//swlint:ignore <rule>[,<rule>...] [reason]
+//
+// either on the same line or on the line directly above.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	RuleID  string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form
+// that editors and CI annotators understand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.RuleID, f.Message)
+}
+
+// Rule is one project-specific check, run per package.
+type Rule interface {
+	// ID is the stable identifier used in output and in
+	// //swlint:ignore comments.
+	ID() string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc() string
+	// Check inspects one type-checked package and reports violations.
+	Check(p *Package) []Finding
+}
+
+// Config controls which module is analyzed and how the rules are
+// parameterized.
+type Config struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path (the `module` line of
+	// go.mod). Filled from go.mod by DefaultConfig.
+	ModulePath string
+	// SimPackages lists the import paths whose virtual-time
+	// determinism must not be broken by wall clocks or global
+	// randomness (rule no-wallclock).
+	SimPackages []string
+	// LDMPackage is the import path of the central capacity-check
+	// package; CapacityExempt packages may touch raw LDM capacity
+	// without routing through it (rule ldm-capacity).
+	LDMPackage     string
+	CapacityExempt []string
+	// Rules is the rule set to run. Empty means AllRules(cfg).
+	Rules []Rule
+}
+
+// simPackageSuffixes is the default rule no-wallclock scope: the
+// packages that together form the simulated machine. Everything that
+// advances or reads time in these packages must do so through
+// internal/vclock.
+var simPackageSuffixes = []string{
+	"internal/core",
+	"internal/sw26010",
+	"internal/mpi",
+	"internal/regcomm",
+	"internal/vclock",
+	"internal/dma",
+	"internal/netmodel",
+}
+
+// DefaultConfig locates go.mod at or above dir and returns the
+// standard configuration for this repository's invariants.
+func DefaultConfig(dir string) (Config, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		ModuleRoot: root,
+		ModulePath: module,
+		LDMPackage: module + "/internal/ldm",
+		CapacityExempt: []string{
+			module + "/internal/ldm",
+			module + "/internal/machine",
+		},
+	}
+	for _, s := range simPackageSuffixes {
+		cfg.SimPackages = append(cfg.SimPackages, module+"/"+s)
+	}
+	return cfg, nil
+}
+
+// AllRules returns the full rule set parameterized by cfg.
+func AllRules(cfg Config) []Rule {
+	return []Rule{
+		NoWallclockRule{SimPackages: cfg.SimPackages},
+		FloatEqRule{},
+		GuardedFieldRule{},
+		ErrWrapRule{},
+		LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
+	}
+}
+
+// Run loads the packages selected by patterns, runs every rule and
+// returns the surviving (non-suppressed) findings sorted by position.
+func Run(cfg Config, patterns []string) ([]Finding, error) {
+	loader := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	rules := cfg.Rules
+	if len(rules) == 0 {
+		rules = AllRules(cfg)
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		findings = append(findings, CheckPackage(rules, p)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// CheckPackage runs the rules over one loaded package and filters
+// suppressed findings.
+func CheckPackage(rules []Rule, p *Package) []Finding {
+	sup := newSuppressions(p)
+	var out []Finding
+	for _, r := range rules {
+		for _, f := range r.Check(p) {
+			if sup.suppressed(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.RuleID < b.RuleID
+	})
+}
+
+// hasSuffixPath reports whether import path p equals one of the given
+// paths or ends with "/"+path (so configs may use module-relative
+// suffixes).
+func hasSuffixPath(p string, paths []string) bool {
+	for _, s := range paths {
+		if p == s || strings.HasSuffix(p, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared across tests: every LoadDir call reuses
+// the same stdlib type-check cache, so the suite pays the source
+// importer's cost once instead of once per subtest.
+var (
+	loaderOnce sync.Once
+	loaderErr  error
+	testCfg    Config
+	testLoader *Loader
+)
+
+func fixtureLoader(t *testing.T) (*Loader, Config) {
+	t.Helper()
+	loaderOnce.Do(func() {
+		testCfg, loaderErr = DefaultConfig(".")
+		if loaderErr != nil {
+			return
+		}
+		testLoader = NewLoader(testCfg.ModuleRoot, testCfg.ModulePath)
+	})
+	if loaderErr != nil {
+		t.Fatalf("DefaultConfig: %v", loaderErr)
+	}
+	return testLoader, testCfg
+}
+
+// loadFixture type-checks one testdata tree, posing as importPath so
+// path-scoped rules see the package where the test wants it.
+func loadFixture(t *testing.T, fixture, importPath string) *Package {
+	t.Helper()
+	l, _ := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "src", fixture), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s as %s: %v", fixture, importPath, err)
+	}
+	return p
+}
+
+// expect is one finding the fixture is seeded with: the rule, the
+// fixture file's base name, the 1-based line and a fragment of the
+// message.
+type expect struct {
+	rule    string
+	file    string
+	line    int
+	message string
+}
+
+func checkFindings(t *testing.T, got []Finding, want []expect) {
+	t.Helper()
+	sortFindings(got)
+	for i, f := range got {
+		if i < len(want) {
+			w := want[i]
+			if f.RuleID != w.rule || filepath.Base(f.Pos.Filename) != w.file || f.Pos.Line != w.line {
+				t.Errorf("finding %d = %s:%d %s, want %s:%d %s",
+					i, filepath.Base(f.Pos.Filename), f.Pos.Line, f.RuleID, w.file, w.line, w.rule)
+			}
+			if !strings.Contains(f.Message, w.message) {
+				t.Errorf("finding %d message %q does not contain %q", i, f.Message, w.message)
+			}
+		} else {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i := len(got); i < len(want); i++ {
+		t.Errorf("missing finding: %+v", want[i])
+	}
+}
+
+func TestRuleFixtures(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	tests := []struct {
+		name    string
+		fixture string
+		as      string // import path the fixture poses as
+		rule    Rule
+		want    []expect
+	}{
+		{
+			name:    "no-wallclock flags clock reads and rand imports in sim packages",
+			fixture: "wallclock",
+			as:      cfg.ModulePath + "/internal/core",
+			rule:    NoWallclockRule{SimPackages: cfg.SimPackages},
+			want: []expect{
+				{"no-wallclock", "wallclock.go", 7, "import of math/rand"},
+				{"no-wallclock", "wallclock.go", 14, "time.Now"},
+				{"no-wallclock", "wallclock.go", 16, "time.Since"},
+			},
+		},
+		{
+			name:    "no-wallclock is silent outside the simulation packages",
+			fixture: "wallclock",
+			as:      cfg.ModulePath + "/internal/report",
+			rule:    NoWallclockRule{SimPackages: cfg.SimPackages},
+			want:    nil,
+		},
+		{
+			name:    "float-eq flags exact comparisons outside tolerant helpers",
+			fixture: "floateq",
+			as:      cfg.ModulePath + "/internal/fixture/floateq",
+			rule:    FloatEqRule{},
+			want: []expect{
+				{"float-eq", "floateq.go", 8, "floating-point == comparison"},
+				{"float-eq", "floateq.go", 13, "floating-point != comparison"},
+			},
+		},
+		{
+			name:    "guarded-field flags lock-free access, including goroutine literals",
+			fixture: "guarded",
+			as:      cfg.ModulePath + "/internal/fixture/guarded",
+			rule:    GuardedFieldRule{},
+			want: []expect{
+				{"guarded-field", "guarded.go", 23, "guarded by mu"},
+				{"guarded-field", "guarded.go", 32, "guarded by mu"},
+			},
+		},
+		{
+			name:    "err-wrap flags %v on error operands, including indexed verbs",
+			fixture: "errwrap",
+			as:      cfg.ModulePath + "/internal/fixture/errwrap",
+			rule:    ErrWrapRule{},
+			want: []expect{
+				{"err-wrap", "errwrap.go", 15, "use %w"},
+				{"err-wrap", "errwrap.go", 26, "use %w"},
+			},
+		},
+		{
+			name:    "err-wrap is scoped to internal packages",
+			fixture: "errwrap",
+			as:      cfg.ModulePath + "/pkg/errwrap",
+			rule:    ErrWrapRule{},
+			want:    nil,
+		},
+		{
+			name:    "ldm-capacity flags raw capacity use without a central check",
+			fixture: "ldmcap",
+			as:      cfg.ModulePath + "/internal/fixture/ldmcap",
+			rule:    LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
+			want: []expect{
+				{"ldm-capacity", "ldmcap.go", 15, "HandRolled uses raw LDM capacity"},
+				{"ldm-capacity", "ldmcap.go", 32, "Alloc uses raw LDM capacity"},
+			},
+		},
+		{
+			name:    "ldm-capacity exempts the machine-description package",
+			fixture: "ldmcap",
+			as:      cfg.ModulePath + "/internal/machine",
+			rule:    LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
+			want:    nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := loadFixture(t, tt.fixture, tt.as)
+			checkFindings(t, tt.rule.Check(p), tt.want)
+		})
+	}
+}
+
+// TestSuppressions proves the ignore machinery end to end: the raw
+// rule sees every seeded violation, and CheckPackage filters exactly
+// the ones carrying a matching //swlint:ignore — trailing, preceding
+// and comma-list forms — while wrong-rule, bare and out-of-range
+// comments suppress nothing.
+func TestSuppressions(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	p := loadFixture(t, "suppress", cfg.ModulePath+"/internal/fixture/suppress")
+
+	raw := FloatEqRule{}.Check(p)
+	checkFindings(t, raw, []expect{
+		{"float-eq", "suppress.go", 8, "floating-point"},
+		{"float-eq", "suppress.go", 14, "floating-point"},
+		{"float-eq", "suppress.go", 20, "floating-point"},
+		{"float-eq", "suppress.go", 26, "floating-point"},
+		{"float-eq", "suppress.go", 32, "floating-point"},
+		{"float-eq", "suppress.go", 39, "floating-point"},
+	})
+
+	filtered := CheckPackage([]Rule{FloatEqRule{}}, p)
+	checkFindings(t, filtered, []expect{
+		{"float-eq", "suppress.go", 26, "floating-point"}, // wrong rule named
+		{"float-eq", "suppress.go", 32, "floating-point"}, // bare ignore
+		{"float-eq", "suppress.go", 39, "floating-point"}, // comment out of range
+	})
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{RuleID: "float-eq", Message: "bad compare"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 7
+	f.Pos.Column = 3
+	if got, want := f.String(), "a/b.go:7:3: float-eq: bad compare"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	if cfg.ModulePath != "repro" {
+		t.Errorf("ModulePath = %q, want repro", cfg.ModulePath)
+	}
+	if cfg.LDMPackage != "repro/internal/ldm" {
+		t.Errorf("LDMPackage = %q", cfg.LDMPackage)
+	}
+	for _, sim := range []string{"repro/internal/core", "repro/internal/vclock", "repro/internal/mpi"} {
+		if !hasSuffixPath(sim, cfg.SimPackages) {
+			t.Errorf("SimPackages missing %s", sim)
+		}
+	}
+	if len(AllRules(cfg)) != 5 {
+		t.Errorf("AllRules returned %d rules, want 5", len(AllRules(cfg)))
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrapRule flags fmt.Errorf calls that format an error operand with
+// %v where %w is required. The capacity checks return typed errors
+// (ldm.ConstraintError, ldm.CapacityError) that planners and tests
+// inspect with errors.As; a %v anywhere on the propagation path
+// flattens them to text and silently breaks that contract. The rule
+// applies to the module's internal packages, where every error path
+// feeds either the planner or the test suite.
+type ErrWrapRule struct{}
+
+// ID implements Rule.
+func (ErrWrapRule) ID() string { return "err-wrap" }
+
+// Doc implements Rule.
+func (ErrWrapRule) Doc() string {
+	return "fmt.Errorf must wrap error operands with %w, not flatten them with %v"
+}
+
+// Check implements Rule.
+func (r ErrWrapRule) Check(p *Package) []Finding {
+	if !strings.Contains(p.Path, "/internal/") && !strings.HasPrefix(p.Path, "internal/") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(p, call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringConstant(p, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range formatVerbs(format) {
+				argIdx := 1 + v.arg
+				if v.verb != 'v' || argIdx >= len(call.Args) {
+					continue
+				}
+				t := p.Info.TypeOf(call.Args[argIdx])
+				if t == nil || !types.Implements(t, errType) {
+					continue
+				}
+				out = append(out, Finding{
+					RuleID: r.ID(),
+					Pos:    p.Fset.Position(call.Args[argIdx].Pos()),
+					Message: "fmt.Errorf formats an error operand with %v; " +
+						"use %w so errors.Is/As can unwrap it",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPkgFunc reports whether the call target resolves to pkg.name.
+func isPkgFunc(p *Package, fun ast.Expr, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name
+}
+
+// stringConstant evaluates expr as a compile-time string constant.
+func stringConstant(p *Package, expr ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbUse is one formatting verb and the 0-based index of the variadic
+// argument it consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs parses a Printf-style format string into its verbs and
+// the argument slots they consume, supporting flags, *-widths and
+// explicit [n] argument indexes.
+func formatVerbs(format string) []verbUse {
+	var verbs []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags, width and precision; '*' consumes an argument slot.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.", c) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		// Explicit argument index [n] (1-based).
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		verbs = append(verbs, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return verbs
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqRule flags == and != between floating-point operands. The
+// convergence decision (movement ≤ tolerance²), the assignment
+// tie-breaks and the cost models all work in float64; an exact
+// equality almost always means a forgotten tolerance and, worse, can
+// differ between reduction orders that are both legal under the
+// paper's deterministic-combining requirement. Deliberate exact
+// comparisons (the min-pair tie-break, IEEE sentinel checks) carry a
+// //swlint:ignore float-eq comment with the reason, or live in a
+// helper whose doc comment contains the marker "swlint:tolerant".
+type FloatEqRule struct{}
+
+// TolerantMarker in a function's doc comment exempts the whole
+// function: it declares "this helper understands float comparison
+// semantics" (for example an ULP-aware comparator).
+const TolerantMarker = "swlint:tolerant"
+
+// ID implements Rule.
+func (FloatEqRule) ID() string { return "float-eq" }
+
+// Doc implements Rule.
+func (FloatEqRule) Doc() string {
+	return "floating-point values must not be compared with == or != outside tolerant helpers"
+}
+
+// Check implements Rule.
+func (r FloatEqRule) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil &&
+				strings.Contains(fd.Doc.Text(), TolerantMarker) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+					return true
+				}
+				out = append(out, Finding{
+					RuleID: r.ID(),
+					Pos:    p.Fset.Position(be.OpPos),
+					Message: "floating-point " + be.Op.String() +
+						" comparison; use a tolerance, or suppress with a reason if the exact compare is intentional",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isFloat reports whether t is (or is an alias/defined type over) a
+// floating-point or complex basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

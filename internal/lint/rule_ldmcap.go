@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LDMCapacityRule keeps the paper's capacity constraints in one place.
+// Which problem shapes fit which partition level is governed by the
+// closed-form feasibility conditions of Section III (C1..C″3,
+// d(1+2k)+k ≤ m·LDM and friends), implemented once in internal/ldm.
+// Any function outside that package that allocates LDM buffers
+// (ldm.NewAllocator) or reads the raw capacity (Spec.LDMBytesPerCPE)
+// without routing through a central ldm.Check* feasibility call is
+// re-deriving those conditions by hand — the exact class of drift this
+// pass exists to prevent.
+type LDMCapacityRule struct {
+	// LDMPackage is the import path of the central capacity package.
+	LDMPackage string
+	// Exempt packages may use raw capacity directly: the capacity
+	// package itself and the machine-description package that defines
+	// the field.
+	Exempt []string
+}
+
+// ID implements Rule.
+func (LDMCapacityRule) ID() string { return "ldm-capacity" }
+
+// Doc implements Rule.
+func (LDMCapacityRule) Doc() string {
+	return "LDM allocation and raw capacity reads must route through the central ldm.Check* feasibility checks"
+}
+
+// capacityField is the raw per-CPE scratchpad size on the machine
+// spec; reading it outside the exempt packages is hand-rolled
+// capacity arithmetic.
+const capacityField = "LDMBytesPerCPE"
+
+// Check implements Rule.
+func (r LDMCapacityRule) Check(p *Package) []Finding {
+	if p.Path == r.LDMPackage || hasSuffixPath(p.Path, r.Exempt) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			trigger := r.firstCapacityUse(p, fd)
+			if trigger == nil {
+				continue
+			}
+			if r.callsCentralCheck(p, fd) {
+				continue
+			}
+			out = append(out, Finding{
+				RuleID: r.ID(),
+				Pos:    p.Fset.Position(trigger.Pos()),
+				Message: "function " + fd.Name.Name + " uses raw LDM capacity without a central " +
+					"feasibility check; call ldm.Check* first or move the arithmetic into " + r.LDMPackage,
+			})
+		}
+	}
+	return out
+}
+
+// firstCapacityUse returns the first node in the declaration that
+// allocates LDM or reads the raw capacity field, or nil.
+func (r LDMCapacityRule) firstCapacityUse(p *Package, fd *ast.FuncDecl) ast.Node {
+	var trigger ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if trigger != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == r.LDMPackage && fn.Name() == "NewAllocator" {
+					trigger = n
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name != capacityField {
+				return true
+			}
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal &&
+				sel.Obj().Name() == capacityField {
+				trigger = n
+				return false
+			}
+		}
+		return true
+	})
+	return trigger
+}
+
+// callsCentralCheck reports whether the declaration calls one of the
+// capacity package's feasibility checks (CheckLevel1, CheckLevel2,
+// CheckLevel3, CheckLevel3Tiled, ...).
+func (r LDMCapacityRule) callsCentralCheck(p *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == r.LDMPackage &&
+			strings.HasPrefix(fn.Name(), "Check") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

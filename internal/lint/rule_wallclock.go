@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallclockRule forbids wall-clock time and global randomness inside
+// the simulation packages. The paper's metric is one-iteration
+// completion time on a *virtual* machine; every duration must come
+// from internal/vclock so that a run is a deterministic function of
+// its inputs. A single time.Now or math/rand call silently turns the
+// timing model into a measurement of the host.
+type NoWallclockRule struct {
+	// SimPackages are the import paths under the rule's scope.
+	SimPackages []string
+}
+
+// ID implements Rule.
+func (NoWallclockRule) ID() string { return "no-wallclock" }
+
+// Doc implements Rule.
+func (NoWallclockRule) Doc() string {
+	return "simulation packages must use virtual clocks, never wall time or global randomness"
+}
+
+// wallclockFuncs are the package-time functions that read the host
+// clock. Constructors like time.Duration arithmetic are fine; reading
+// the clock is not.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Check implements Rule.
+func (r NoWallclockRule) Check(p *Package) []Finding {
+	if !hasSuffixPath(p.Path, r.SimPackages) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Finding{
+					RuleID: r.ID(),
+					Pos:    p.Fset.Position(imp.Pos()),
+					Message: "import of " + path + " in simulation package " + p.Path +
+						" breaks run determinism; derive pseudo-randomness from explicit seeds",
+				})
+			}
+		}
+	}
+	for ident, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+			continue
+		}
+		out = append(out, Finding{
+			RuleID: r.ID(),
+			Pos:    p.Fset.Position(ident.Pos()),
+			Message: "time." + fn.Name() + " in simulation package " + p.Path +
+				" breaks virtual-clock determinism; advance a vclock.Clock instead",
+		})
+	}
+	return out
+}
+
+// importPath unquotes an import spec's path.
+func importPath(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 && s[0] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//swlint:ignore <rule>[,<rule>...] [reason]
+//
+// The comment suppresses the listed rules on its own line and on the
+// line directly below, so both trailing and preceding placement work:
+//
+//	if a == b { ... }            //swlint:ignore float-eq exact tie-break
+//
+//	//swlint:ignore float-eq exact tie-break
+//	if a == b { ... }
+const ignorePrefix = "swlint:ignore"
+
+// suppressions indexes the ignore comments of one package by file and
+// line.
+type suppressions struct {
+	// byLine maps filename -> line -> rule IDs suppressed at that line.
+	byLine map[string]map[int][]string
+}
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // a bare swlint:ignore names no rule and suppresses nothing
+				}
+				rules := strings.Split(fields[0], ",")
+				pos := p.Fset.Position(c.Pos())
+				s.add(pos, rules)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(pos token.Position, rules []string) {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		s.byLine[pos.Filename] = lines
+	}
+	for _, r := range rules {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		lines[pos.Line] = append(lines[pos.Line], r)
+	}
+}
+
+// suppressed reports whether the finding is covered by an ignore
+// comment on its own line or the line above.
+func (s *suppressions) suppressed(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, r := range lines[line] {
+			if r == f.RuleID {
+				return true
+			}
+		}
+	}
+	return false
+}

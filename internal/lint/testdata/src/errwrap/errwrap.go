@@ -1,0 +1,32 @@
+// Package errwrap exercises rule err-wrap: fmt.Errorf must wrap error
+// operands with %w so errors.Is/As keep working through the planner's
+// propagation paths.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Flattened formats the error with %v — the finding.
+func Flattened() error {
+	return fmt.Errorf("run failed: %v", errBase)
+}
+
+// Wrapped uses %w; not a finding.
+func Wrapped() error {
+	return fmt.Errorf("run failed: %w", errBase)
+}
+
+// Indexed reaches the error operand through an explicit [n] argument
+// index, after a *-width consumed a slot.
+func Indexed(width int) error {
+	return fmt.Errorf("%*d iters, then: %[3]v", width, 7, errBase)
+}
+
+// Textual formats a non-error operand with %v; not a finding.
+func Textual(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}

@@ -1,0 +1,29 @@
+// Package floateq exercises rule float-eq: exact comparisons of
+// floating-point operands outside tolerant helpers.
+package floateq
+
+// Converged compares movement against the tolerance exactly — the
+// forgotten-tolerance bug the rule exists for.
+func Converged(movement, tolerance float64) bool {
+	return movement == tolerance
+}
+
+// Moved inequality-compares float32 operands; same problem.
+func Moved(a, b float32) bool {
+	return a != b
+}
+
+// Same compares integers; not a finding.
+func Same(a, b int) bool {
+	return a == b
+}
+
+// ApproxEqual understands float comparison semantics and says so with
+// the swlint:tolerant marker, which exempts the whole function.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < eps && -d < eps
+}

@@ -1,0 +1,40 @@
+// Package guarded exercises rule guarded-field: fields annotated
+// "guarded by <mu>" may only be accessed in functions that lock that
+// mutex.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	n   int // guarded by mu
+	hot int
+}
+
+// Add holds the documented mutex; not a finding.
+func (c *counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek forgot the lock — the canonical finding.
+func (c *counter) Peek() int {
+	return c.n
+}
+
+// Race locks in the enclosing function, but the goroutine body is its
+// own function and takes no lock of its own, so the access inside the
+// literal is a finding.
+func (c *counter) Race() {
+	c.mu.Lock()
+	go func() {
+		c.n++
+	}()
+	c.mu.Unlock()
+}
+
+// Unguarded touches only the unannotated field; not a finding.
+func (c *counter) Unguarded() int {
+	return c.hot
+}

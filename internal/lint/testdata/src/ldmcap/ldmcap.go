@@ -1,0 +1,34 @@
+// Package ldmcap exercises rule ldm-capacity: functions that allocate
+// LDM or read the raw capacity field must route through a central
+// ldm.Check* feasibility call instead of re-deriving the paper's
+// constraints by hand.
+package ldmcap
+
+import (
+	"repro/internal/ldm"
+	"repro/internal/machine"
+)
+
+// HandRolled re-derives constraint C1 from the raw capacity — the
+// drift the rule exists to prevent.
+func HandRolled(spec *machine.Spec, k, d int) bool {
+	elems := spec.LDMBytesPerCPE / 8
+	return d*(1+2*k)+k <= elems
+}
+
+// Checked routes through the central feasibility check before
+// allocating; not a finding.
+func Checked(spec *machine.Spec, k, d int) error {
+	if err := ldm.CheckLevel1(spec, k, d); err != nil {
+		return err
+	}
+	alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+	return alloc.AllocFloats("centroids", k*d)
+}
+
+// Alloc allocates with no feasibility check at all — a finding at the
+// allocation call.
+func Alloc(spec *machine.Spec, k, d int) error {
+	alloc := ldm.NewAllocator(spec.LDMBytesPerCPE)
+	return alloc.AllocFloats("centroids", k*d)
+}

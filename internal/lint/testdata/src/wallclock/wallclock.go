@@ -1,0 +1,23 @@
+// Package wallclock exercises rule no-wallclock: the test loads it
+// under a simulation-package import path, where reading the host
+// clock or global randomness breaks run determinism.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter breaks virtual-time determinism three ways: a wall-clock
+// read, a global random draw and an elapsed-wall-time measurement.
+func Jitter() time.Duration {
+	start := time.Now()
+	_ = rand.Float64()
+	return time.Since(start)
+}
+
+// Scale only does duration arithmetic; constructing durations is fine,
+// reading the clock is not.
+func Scale(d time.Duration) time.Duration {
+	return 2 * d
+}

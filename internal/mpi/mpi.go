@@ -47,7 +47,7 @@ type World struct {
 	held  [][]packet // per-rank out-of-order buffer, owned by the rank goroutine
 
 	commIDs sync.Mutex
-	nextID  uint64
+	nextID  uint64 // guarded by commIDs
 
 	clocks []*vclock.Clock
 }
@@ -377,6 +377,7 @@ func (c *Comm) AllReduceMinPairs(vals []float64, idxs []int64) error {
 				return fmt.Errorf("mpi: min-pairs payload mismatch on rank %d", c.rank)
 			}
 			for j := range vals {
+				//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
 				if d[j] < vals[j] || (d[j] == vals[j] && i[j] < idxs[j]) {
 					vals[j], idxs[j] = d[j], i[j]
 				}

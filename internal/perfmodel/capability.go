@@ -32,12 +32,12 @@ func TableI(spec *machine.Spec) []CapabilityRow {
 		{"Bender, et al [2]", "Trinity, NNSA", "OpenMP", 370, 18, 140256, true},
 	}
 	rows = append(rows, CapabilityRow{
-		Approach: "Our approach (this reproduction)",
-		Hardware: "Sunway, Wuxi (simulated)",
-		Model:    "DMA/MPI",
-		N:        1e6,
-		K:        MaxK(spec, 196608),
-		D:        MaxD(spec),
+		Approach:  "Our approach (this reproduction)",
+		Hardware:  "Sunway, Wuxi (simulated)",
+		Model:     "DMA/MPI",
+		N:         1e6,
+		K:         MaxK(spec, 196608),
+		D:         MaxD(spec),
 		Published: false,
 	})
 	return rows
@@ -47,9 +47,7 @@ func TableI(spec *machine.Spec) []CapabilityRow {
 // on the deployment: constraint C″2 with the per-CPE stripe rounded to
 // whole CPE shares.
 func MaxD(spec *machine.Spec) int {
-	capCG := machine.CPEsPerCG * ldm.ElemsPerLDM(spec.LDMBytesPerCPE)
-	d := (capCG - 1) / 3
-	return d - d%machine.CPEsPerCG
+	return ldm.MaxDLevel3(spec)
 }
 
 // MaxK returns the largest centroid count the Level-3 design admits at

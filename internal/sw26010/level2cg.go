@@ -3,7 +3,6 @@ package sw26010
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dma"
@@ -58,17 +57,9 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 	res := &Result{K: k, D: d, Assign: assign}
 	groups := machine.CPEsPerCG / mgroup
 
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	iterEnd := make([]float64, maxIters)
-	var iterMu sync.Mutex
+	var runFail errOnce
+	fail := runFail.set
+	iters := newTimeline(maxIters)
 
 	mesh.Run(func(c *regcomm.CPE) {
 		group := c.ID() / mgroup
@@ -209,11 +200,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 				fail(err)
 				return
 			}
-			iterMu.Lock()
-			if t := c.Clock().Now(); t > iterEnd[iter] {
-				iterEnd[iter] = t
-			}
-			iterMu.Unlock()
+			iters.record(iter, c.Clock().Now())
 			if c.ID() == 0 {
 				res.Iters = iter + 1
 			}
@@ -225,15 +212,11 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 			}
 		}
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := runFail.get(); err != nil {
+		return nil, err
 	}
 	res.Centroids = mainCents
-	prev := 0.0
-	for i := 0; i < res.Iters; i++ {
-		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
-		prev = iterEnd[i]
-	}
+	res.IterTimes = iters.deltas(res.Iters)
 	return res, nil
 }
 
@@ -255,6 +238,7 @@ func minReduceGroup(c *regcomm.CPE, mgroup, j int, dist float64) (int, float64, 
 		if len(dd) != 1 || len(ii) != 1 {
 			return 0, 0, fmt.Errorf("sw26010: min-reduce payload mismatch on CPE %d", c.ID())
 		}
+		//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
 		if dd[0] < dist || (dd[0] == dist && int(ii[0]) < j) {
 			dist, j = dd[0], int(ii[0])
 		}

@@ -2,7 +2,6 @@ package sw26010
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dma"
@@ -53,17 +52,9 @@ func RunLevel3CG(spec *machine.Spec, src dataset.Source, initial []float64, batc
 	assign := make([]int, n)
 	res := &Result{K: k, D: d, Assign: assign}
 
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	iterEnd := make([]float64, maxIters)
-	var iterMu sync.Mutex
+	var runFail errOnce
+	fail := runFail.set
+	iters := newTimeline(maxIters)
 
 	mesh.Run(func(c *regcomm.CPE) {
 		uLo, uHi := share(d, machine.CPEsPerCG, c.ID())
@@ -185,11 +176,7 @@ func RunLevel3CG(spec *machine.Spec, src dataset.Source, initial []float64, batc
 				fail(err)
 				return
 			}
-			iterMu.Lock()
-			if t := c.Clock().Now(); t > iterEnd[iter] {
-				iterEnd[iter] = t
-			}
-			iterMu.Unlock()
+			iters.record(iter, c.Clock().Now())
 			if c.ID() == 0 {
 				res.Iters = iter + 1
 			}
@@ -201,14 +188,10 @@ func RunLevel3CG(spec *machine.Spec, src dataset.Source, initial []float64, batc
 			}
 		}
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := runFail.get(); err != nil {
+		return nil, err
 	}
 	res.Centroids = mainCents
-	prev := 0.0
-	for i := 0; i < res.Iters; i++ {
-		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
-		prev = iterEnd[i]
-	}
+	res.IterTimes = iters.deltas(res.Iters)
 	return res, nil
 }

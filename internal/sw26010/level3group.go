@@ -64,10 +64,9 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 	res := &Result{K: k, D: d, Assign: assign}
 	finalCents := make([]float64, k*d)
 	slices := make([][]float64, mPrime)
-	var itersMu sync.Mutex
-	iterEnd := make([]float64, maxIters)
-	itersRan := 0
-	converged := false
+	iters := newTimeline(maxIters)
+	itersRan := 0      // written by rank 0 only, read after Run returns
+	converged := false // written by rank 0 only, read after Run returns
 
 	runErr := world.Run(func(c *mpi.Comm) error {
 		pos := c.Rank()
@@ -100,15 +99,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 			for j := range counts {
 				counts[j] = 0
 			}
-			var meshErr error
-			var meshMu sync.Mutex
-			fail := func(err error) {
-				meshMu.Lock()
-				if meshErr == nil {
-					meshErr = err
-				}
-				meshMu.Unlock()
-			}
+			var meshFail errOnce
+			fail := meshFail.set
 			// Phase A (on the mesh): load stripes, zero sums.
 			mesh.Run(func(cp *regcomm.CPE) {
 				uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
@@ -145,8 +137,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 					st.sums[i] = 0
 				}
 			})
-			if meshErr != nil {
-				return meshErr
+			if err := meshFail.get(); err != nil {
+				return err
 			}
 
 			// Batches: mesh computes full local distances, the MPE
@@ -187,8 +179,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 						copy(dists[:m*max(1, kLocal)], part)
 					}
 				})
-				if meshErr != nil {
-					return meshErr
+				if err := meshFail.get(); err != nil {
+					return err
 				}
 				// MPE: local argmin per sample, then the group
 				// min-reduce over MPI. The MPE continues from the
@@ -247,8 +239,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 						cp.Clock().Advance(float64(m*dStripe) / spec.CPU.FlopsPerCPE)
 					}
 				})
-				if meshErr != nil {
-					return meshErr
+				if err := meshFail.get(); err != nil {
+					return err
 				}
 			}
 
@@ -279,8 +271,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 				movement += local
 				movementMu.Unlock()
 			})
-			if meshErr != nil {
-				return meshErr
+			if err := meshFail.get(); err != nil {
+				return err
 			}
 			c.Clock().AdvanceTo(meshMax(mesh))
 
@@ -292,19 +284,13 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 			if err := c.Barrier(); err != nil {
 				return err
 			}
-			itersMu.Lock()
-			if t := c.Clock().Now(); t > iterEnd[iter] {
-				iterEnd[iter] = t
-			}
+			iters.record(iter, c.Clock().Now())
 			if pos == 0 {
 				itersRan = iter + 1
 			}
-			itersMu.Unlock()
 			if mv[0] <= tolerance*tolerance {
 				if pos == 0 {
-					itersMu.Lock()
 					converged = true
-					itersMu.Unlock()
 				}
 				break
 			}
@@ -322,11 +308,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 	res.Centroids = finalCents
 	res.Iters = itersRan
 	res.Converged = converged
-	prev := 0.0
-	for i := 0; i < res.Iters; i++ {
-		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
-		prev = iterEnd[i]
-	}
+	res.IterTimes = iters.deltas(res.Iters)
 	return res, nil
 }
 

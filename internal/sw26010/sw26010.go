@@ -14,7 +14,6 @@ package sw26010
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dma"
@@ -82,17 +81,9 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 		return nil, fmt.Errorf("sw26010: no LDM budget left for sample streaming at k=%d d=%d", k, d)
 	}
 
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	iterEnd := make([]float64, maxIters) // max clock after each iteration
-	var iterMu sync.Mutex
+	var runFail errOnce
+	fail := runFail.set
+	iters := newTimeline(maxIters)
 
 	mesh.Run(func(c *regcomm.CPE) {
 		// Explicit LDM allocation: one whole sample chunk, the full
@@ -198,11 +189,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 				fail(err)
 				return
 			}
-			iterMu.Lock()
-			if t := c.Clock().Now(); t > iterEnd[iter] {
-				iterEnd[iter] = t
-			}
-			iterMu.Unlock()
+			iters.record(iter, c.Clock().Now())
 			if c.ID() == 0 {
 				res.Iters = iter + 1
 			}
@@ -214,28 +201,20 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 			}
 		}
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := runFail.get(); err != nil {
+		return nil, err
 	}
 	res.Centroids = mainCents
-	prev := 0.0
-	for i := 0; i < res.Iters; i++ {
-		res.IterTimes = append(res.IterTimes, iterEnd[i]-prev)
-		prev = iterEnd[i]
-	}
+	res.IterTimes = iters.deltas(res.Iters)
 	return res, nil
 }
 
 // chunkSamples sizes the per-CPE stream buffer: the LDM must hold the
-// chunk plus the centroid set, the sums and the counters.
+// chunk plus the centroid set, the sums and the counters. The
+// arithmetic lives in the central capacity package next to the
+// constraint it derives from.
 func chunkSamples(spec *machine.Spec, k, d int) int {
-	capElems := ldm.ElemsPerLDM(spec.LDMBytesPerCPE)
-	free := capElems - 2*k*d - k
-	chunk := free / d
-	if chunk > 64 {
-		chunk = 64
-	}
-	return chunk
+	return ldm.Level1StreamChunk(spec, k, d)
 }
 
 func share(n, p, r int) (int, int) {

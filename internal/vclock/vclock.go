@@ -95,10 +95,10 @@ type Group struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	waiting int
-	round   uint64
-	maxT    float64 // running max of the round currently filling
-	release float64 // release time of the last completed round
+	waiting int     // guarded by mu
+	round   uint64  // guarded by mu
+	maxT    float64 // guarded by mu — running max of the round currently filling
+	release float64 // guarded by mu — release time of the last completed round
 }
 
 // NewGroup returns a synchronization group for n participants.
