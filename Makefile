@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race
+.PHONY: check build vet lint test race faultcheck
 
 # check is the full gate: build, vet, swlint, tests under the race
-# detector.
-check: build vet lint race
+# detector, and the fault-injection smoke matrix.
+check: build vet lint race faultcheck
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# faultcheck smoke-runs the seeded fault matrix through the CLI: crash
+# with checkpoint restart, crash with dropped shards, pure transient
+# noise, a degraded fabric with a straggler, and a whole-node loss.
+# Every scenario is deterministic (docs/FAULT_TOLERANCE.md) and must
+# finish with exit code 0.
+FAULTBASE = $(GO) run ./cmd/swkmeans -dataset gauss -n 800 -d 8 -components 4 -level 1 -k 4 -nodes 2 -iters 10
+
+faultcheck:
+	$(FAULTBASE) -faults "seed=7; crash=3@2e-5; msg=0.01; retries=32" -ckpt 2
+	$(FAULTBASE) -faults "crash=1@2e-5" -ckpt 2 -droplost
+	$(FAULTBASE) -faults "seed=11; dma=0.05; msg=0.05; retries=64"
+	$(FAULTBASE) -faults "link=*@0:1x4; slow=2x1.5"
+	$(FAULTBASE) -faults "crashnode=1@3e-5; hb=1e-4" -ckpt 3

@@ -7,7 +7,8 @@
 //   - resident vs DRAM-tiled centroid stripes at Level 3;
 //   - assignment batch sizing in the Level-3 assign step;
 //   - binomial vs ring allreduce for the Update volume;
-//   - fat-tree uplink contention under concurrent per-slice reduces.
+//   - fat-tree uplink contention under concurrent per-slice reduces;
+//   - checkpoint interval under a mid-run CG crash (recovery overhead).
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/fattree"
+	"repro/internal/fault"
 	"repro/internal/ldm"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -36,7 +38,7 @@ func main() {
 
 func run(w io.Writer) error {
 	for _, section := range []func() (*report.Table, error){
-		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention,
+		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention, checkpointSweep,
 	} {
 		t, err := section()
 		if err != nil {
@@ -168,6 +170,75 @@ func contention() (*report.Table, error) {
 			return nil, err
 		}
 		t.AddStringRow(fmt.Sprintf("%d", conc), fmt.Sprintf("%.2fx", f))
+	}
+	return t, nil
+}
+
+// checkpointIntervals is the sweep shared by the ablation table and
+// its U-shape regression test.
+var checkpointIntervals = []int{1, 2, 4, 8, 16, 40}
+
+// checkpointRuns executes the fixed fault scenario — one CG crash at
+// ~60% of the fault-free completion time — once per checkpoint
+// interval and returns the resilient results in sweep order.
+func checkpointRuns() ([]*core.Result, error) {
+	g, err := dataset.NewGaussianMixture("ckpt", 2000, 48, 8, 0.08, 2.5, 11)
+	if err != nil {
+		return nil, err
+	}
+	base := core.Config{Spec: machine.MustSpec(1), Level: core.Level1, K: 48, MaxIters: 40, Seed: 3}
+	clean, err := core.Run(base, g)
+	if err != nil {
+		return nil, err
+	}
+	crashAt := 0.6 * completionSeconds(clean)
+	out := make([]*core.Result, 0, len(checkpointIntervals))
+	for _, interval := range checkpointIntervals {
+		cfg := base
+		cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: crashAt}}}
+		cfg.CheckpointInterval = interval
+		res, err := core.Run(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// completionSeconds is a run's virtual time-to-completion: the useful
+// iteration time plus any recovery overhead (checkpoints, re-planning,
+// redone work, retries), all on the same simulated clock.
+func completionSeconds(r *core.Result) float64 {
+	total := 0.0
+	for _, it := range r.IterTimes {
+		total += it
+	}
+	if r.Recovery != nil {
+		total += r.Recovery.OverheadSeconds()
+	}
+	return total
+}
+
+// checkpointSweep sweeps the checkpoint interval under one mid-run CG
+// crash. Short intervals pay for checkpoints that are never consumed;
+// long intervals re-execute everything since the last checkpoint on
+// restart; time-to-completion is U-shaped in between (Section on
+// recovery cost accounting in docs/FAULT_TOLERANCE.md).
+func checkpointSweep() (*report.Table, error) {
+	runs, err := checkpointRuns()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Checkpoint interval under a mid-run CG crash (n=2000, d=48, k=48, Level 1)",
+		"interval", "ckpts", "ckpt (s)", "redo (s)", "completion (s)")
+	for i, res := range runs {
+		rec := res.Recovery
+		t.AddStringRow(fmt.Sprintf("%d", checkpointIntervals[i]),
+			fmt.Sprintf("%d", rec.Checkpoints),
+			fmt.Sprintf("%.6f", rec.CheckpointSeconds),
+			fmt.Sprintf("%.6f", rec.RedoSeconds),
+			fmt.Sprintf("%.6f", completionSeconds(res)))
 	}
 	return t, nil
 }

@@ -18,6 +18,7 @@ func TestRunAllSections(t *testing.T) {
 		"assignment batch size",
 		"Allreduce algorithm",
 		"Fat-tree uplink contention",
+		"Checkpoint interval under a mid-run CG crash",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)
@@ -27,5 +28,49 @@ func TestRunAllSections(t *testing.T) {
 	// the large Update volume (the last regcomm row).
 	if !strings.Contains(out, "x") {
 		t.Error("no speedup columns rendered")
+	}
+}
+
+// TestCheckpointSweepIsUShaped: time-to-completion under the fixed
+// crash must be worse at both sweep extremes than at the best interior
+// interval — frequent checkpoints pay write overhead, rare ones pay
+// redo overhead.
+func TestCheckpointSweepIsUShaped(t *testing.T) {
+	runs, err := checkpointRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]float64, len(runs))
+	for i, r := range runs {
+		totals[i] = completionSeconds(r)
+	}
+	best, bestIdx := totals[0], 0
+	for i, v := range totals {
+		if v < best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(totals)-1 {
+		t.Fatalf("completion minimum at sweep edge (interval %d): totals=%v",
+			checkpointIntervals[bestIdx], totals)
+	}
+	if totals[0] <= best {
+		t.Errorf("interval %d (%.9g) not slower than best %.9g",
+			checkpointIntervals[0], totals[0], best)
+	}
+	if last := totals[len(totals)-1]; last <= best {
+		t.Errorf("interval %d (%.9g) not slower than best %.9g",
+			checkpointIntervals[len(totals)-1], last, best)
+	}
+	// The extremes must be dominated by the matching overhead class.
+	if first := runs[0].Recovery; first.CheckpointSeconds <= runs[len(runs)-1].Recovery.CheckpointSeconds {
+		t.Errorf("interval %d checkpoint overhead %.9g not above interval %d's %.9g",
+			checkpointIntervals[0], first.CheckpointSeconds,
+			checkpointIntervals[len(runs)-1], runs[len(runs)-1].Recovery.CheckpointSeconds)
+	}
+	if last := runs[len(runs)-1].Recovery; last.RedoSeconds <= runs[0].Recovery.RedoSeconds {
+		t.Errorf("interval %d redo overhead %.9g not above interval %d's %.9g",
+			checkpointIntervals[len(runs)-1], last.RedoSeconds,
+			checkpointIntervals[0], runs[0].Recovery.RedoSeconds)
 	}
 }

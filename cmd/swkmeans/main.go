@@ -20,6 +20,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/quality"
 	"repro/internal/report"
@@ -49,8 +50,27 @@ func main() {
 		summary    = flag.Bool("summary", false, "emit a JSON result summary to stdout")
 		preset     = flag.String("preset", "", "machine preset overriding -nodes: taihulight, headline, comparison, processor")
 		specPath   = flag.String("spec", "", "load the machine spec from a JSON file (see machine.WriteJSON)")
+		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. \"seed=7; crash=1@2e-5; msg=0.01; link=*@0:1x4\" (see docs/FAULT_TOLERANCE.md)")
+		ckpt       = flag.Int("ckpt", 0, "checkpoint interval in iterations under -faults (0 = default)")
+		dropLost   = flag.Bool("droplost", false, "drop a failed rank's data shard instead of redistributing it")
 	)
 	flag.Parse()
+	// Exit code contract: 2 for unusable flags (flag.Parse exits 2 on
+	// syntax errors itself; semantic flag errors follow suit), 1 for
+	// run failures.
+	var faults fault.Plan
+	if *faultSpec != "" {
+		var err error
+		faults, err = fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swkmeans: -faults:", err)
+			os.Exit(2)
+		}
+	}
+	if *ckpt < 0 {
+		fmt.Fprintln(os.Stderr, "swkmeans: -ckpt must be non-negative")
+		os.Exit(2)
+	}
 	opts := options{
 		out:    os.Stdout,
 		dsName: *dsName, scale: *scale, n: *n, d: *d, components: *components,
@@ -58,6 +78,7 @@ func main() {
 		stride: *stride, mgroup: *mgroup, mprime: *mprime, useKpp: *useKpp,
 		algo: *algo, savePath: *savePath, loadPath: *loadPath, summary: *summary,
 		preset: *preset, specPath: *specPath,
+		faults: faults, ckpt: *ckpt, dropLost: *dropLost,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "swkmeans:", err)
@@ -79,6 +100,9 @@ type options struct {
 	summary                 bool
 	preset                  string
 	specPath                string
+	faults                  fault.Plan
+	ckpt                    int
+	dropLost                bool
 }
 
 // buildSpec resolves the machine: an explicit JSON spec wins, then a
@@ -188,15 +212,26 @@ func run(o options) error {
 	if o.useKpp {
 		cfg.Init = core.InitKMeansPlusPlus
 	}
+	cfg.Faults = o.faults
+	cfg.CheckpointInterval = o.ckpt
+	cfg.DropLostShards = o.dropLost
 	fmt.Fprintf(o.out, "machine : %v\n", spec)
+	if !o.faults.Empty() {
+		fmt.Fprintf(o.out, "faults  : %d crashes, dma=%g msg=%g, %d links, %d stragglers (seed=%d)\n",
+			len(o.faults.Crashes), o.faults.DMAFailRate, o.faults.MsgFailRate,
+			len(o.faults.Links), len(o.faults.Stragglers), o.faults.Seed)
+	}
 
 	res, err := core.Run(cfg, src)
 	if err != nil {
-		return err
+		return fmt.Errorf("training run: %w", err)
 	}
 	fmt.Fprintf(o.out, "plan    : %v\n", res.Plan)
 	fmt.Fprintf(o.out, "iters   : %d (converged=%v)\n", res.Iters, res.Converged)
 	fmt.Fprintf(o.out, "traffic : %v\n", res.Traffic)
+	if err := printRecovery(o.out, res); err != nil {
+		return err
+	}
 
 	tb := report.NewTable("\nsimulated one-iteration completion time", "iteration", "seconds")
 	for i, it := range res.IterTimes {
@@ -211,6 +246,11 @@ func run(o options) error {
 		if err := printQuality(o.out, src, res.Centroids, res.D, res.Assign, labeler); err != nil {
 			return err
 		}
+		if res.Recovery != nil && res.Recovery.DroppedSamples > 0 {
+			if err := printQualityDelta(o, cfg, src, res, labeler); err != nil {
+				return err
+			}
+		}
 	}
 	if o.savePath != "" {
 		if err := saveModel(o.savePath, res.Centroids, res.K, res.D); err != nil {
@@ -222,6 +262,80 @@ func run(o options) error {
 		return res.WriteSummary(o.out)
 	}
 	return nil
+}
+
+// printRecovery reports the fault-recovery work of a resilient run in
+// virtual seconds — the quantity that makes checkpoint-interval sweeps
+// comparable to fault-free completion time.
+func printRecovery(w io.Writer, res *core.Result) error {
+	rec := res.Recovery
+	if rec == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "recovery: replans=%d lost=%v dropped=%d checkpoints=%d\n",
+		rec.Replans, rec.LostRanks, rec.DroppedSamples, rec.Checkpoints)
+	useful := 0.0
+	for _, t := range res.IterTimes {
+		useful += t
+	}
+	overhead := rec.OverheadSeconds()
+	pct := 0.0
+	if useful+overhead > 0 {
+		pct = 100 * overhead / (useful + overhead)
+	}
+	fmt.Fprintf(w, "overhead: ckpt=%.6fs replan=%.6fs redo=%.6fs retries=%.6fs total=%.6fs (%.1f%% of completion)\n",
+		rec.CheckpointSeconds, rec.ReplanSeconds, rec.RedoSeconds, rec.RetrySeconds, overhead, pct)
+	return nil
+}
+
+// printQualityDelta quantifies what dropping dead shards cost: the
+// same configuration runs fault-free and the quality metrics are
+// compared side by side.
+func printQualityDelta(o options, cfg core.Config, src dataset.Source, res *core.Result, labeler func(int) int) error {
+	cfg.Faults = fault.Plan{}
+	cfg.DropLostShards = false
+	cfg.Stats = trace.NewStats()
+	ref, err := core.Run(cfg, src)
+	if err != nil {
+		return fmt.Errorf("fault-free reference run: %w", err)
+	}
+	refNMI, gotNMI, err := pairedNMI(src, ref.Assign, res.Assign, labeler)
+	if err != nil {
+		return err
+	}
+	refObj, err := quality.Objective(src, ref.Centroids, ref.D, ref.Assign)
+	if err != nil {
+		return err
+	}
+	gotObj, _, err := quality.ObjectiveSurviving(src, res.Centroids, res.D, res.Assign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out, "delta   : NMI %.4f -> %.4f (%+.4f), objective %.6g -> %.6g (dropped %d of %d samples)\n",
+		refNMI, gotNMI, gotNMI-refNMI, refObj, gotObj, res.Recovery.DroppedSamples, src.N())
+	return nil
+}
+
+// pairedNMI computes NMI for the fault-free and the degraded
+// assignment over the samples the degraded run still covers, so the
+// two numbers are comparable.
+func pairedNMI(src dataset.Source, refAssign, gotAssign []int, labeler func(int) int) (refNMI, gotNMI float64, err error) {
+	var ref, got, truth []int
+	for i := 0; i < src.N(); i++ {
+		if gotAssign[i] < 0 {
+			continue
+		}
+		ref = append(ref, refAssign[i])
+		got = append(got, gotAssign[i])
+		truth = append(truth, labeler(i))
+	}
+	if refNMI, err = quality.NMI(ref, truth); err != nil {
+		return 0, 0, err
+	}
+	if gotNMI, err = quality.NMI(got, truth); err != nil {
+		return 0, 0, err
+	}
+	return refNMI, gotNMI, nil
 }
 
 // runInference classifies the dataset with a previously trained
@@ -384,19 +498,25 @@ func runHostBaseline(o options, src dataset.Source, labeler func(int) int) error
 }
 
 func printQuality(w io.Writer, src dataset.Source, cents []float64, d int, assign []int, labeler func(int) int) error {
-	truth := make([]int, src.N())
-	for i := range truth {
-		truth[i] = labeler(i)
+	// Samples without an assignment (dropped shards) stay out of the
+	// scoring.
+	var pred, truth []int
+	for i := 0; i < src.N(); i++ {
+		if assign[i] < 0 {
+			continue
+		}
+		pred = append(pred, assign[i])
+		truth = append(truth, labeler(i))
 	}
-	ari, err := quality.ARI(assign, truth)
+	ari, err := quality.ARI(pred, truth)
 	if err != nil {
 		return err
 	}
-	nmi, err := quality.NMI(assign, truth)
+	nmi, err := quality.NMI(pred, truth)
 	if err != nil {
 		return err
 	}
-	obj, err := quality.Objective(src, cents, d, assign)
+	obj, _, err := quality.ObjectiveSurviving(src, cents, d, assign)
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,10 @@ func ChooseLevel(cfg Config, n, d int) (Plan, error) {
 	found := false
 	var lastErr error
 	for _, lv := range []Level{Level1, Level2, Level3} {
+		if lv == Level3 && !cfg.Faults.Empty() {
+			// The resilient driver covers Levels 1 and 2 only.
+			continue
+		}
 		c := cfg
 		c.Level = lv
 		plan, err := PlanFor(c, n, d)

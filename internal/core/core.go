@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -108,6 +109,21 @@ type Config struct {
 	// BatchSamples sets the assignment batch exchanged per collective
 	// in Levels 2 and 3 (default 256).
 	BatchSamples int
+	// Faults, when non-empty, injects the deterministic fault plan into
+	// the simulated machine and routes the run through the resilient
+	// driver: per-interval checkpointing, restart from the last
+	// checkpoint after a rank failure, and re-planning over the
+	// surviving core groups. Levels 1 and 2 only (see
+	// docs/FAULT_TOLERANCE.md for the Level-3 deviation).
+	Faults fault.Plan
+	// CheckpointInterval checkpoints the model every this many
+	// iterations under Faults (default 5).
+	CheckpointInterval int
+	// DropLostShards keeps a failed rank's sample shard out of the
+	// computation instead of redistributing it to the survivors:
+	// graceful degradation trading clustering quality for recovery
+	// traffic. Dropped samples end the run with assignment -1.
+	DropLostShards bool
 	// Stats receives traffic counters; optional.
 	Stats *trace.Stats
 }
@@ -122,6 +138,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.BatchSamples == 0 {
 		cfg.BatchSamples = 256
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 5
 	}
 	return cfg
 }
@@ -164,6 +183,20 @@ func (cfg Config) validate() error {
 			return fmt.Errorf("core: mini-batch mode and sample striding are mutually exclusive")
 		}
 	}
+	if cfg.CheckpointInterval < 1 {
+		return fmt.Errorf("core: checkpoint interval must be at least 1, got %d", cfg.CheckpointInterval)
+	}
+	if !cfg.Faults.Empty() {
+		if _, err := fault.NewInjector(cfg.Faults); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if cfg.Level == Level3 {
+			return fmt.Errorf("core: fault injection is implemented for Levels 1 and 2 (see docs/FAULT_TOLERANCE.md)")
+		}
+		if cfg.MiniBatch > 0 {
+			return fmt.Errorf("core: mini-batch mode and fault injection are mutually exclusive")
+		}
+	}
 	return nil
 }
 
@@ -195,6 +228,9 @@ type Result struct {
 	Traffic trace.Snapshot
 	// Plan is the partition plan the run executed.
 	Plan Plan
+	// Recovery reports the fault-recovery work of the run (nil for
+	// fault-free runs).
+	Recovery *Recovery
 }
 
 // Phase is the per-iteration simulated time split: DMA reads, per-CPE

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// totalIterSeconds sums the per-iteration virtual times of a result.
+func totalIterSeconds(r *Result) float64 {
+	s := 0.0
+	for _, t := range r.IterTimes {
+		s += t
+	}
+	return s
+}
+
+// centroidsClose compares centroid matrices under the reduction
+// tolerance: partitioned sums associate differently than sequential
+// ones, so agreement is near-exact, not bitwise.
+func centroidsClose(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("centroid matrix length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		scale := math.Max(1, math.Abs(want[i]))
+		if math.Abs(got[i]-want[i]) > 1e-9*scale {
+			t.Fatalf("centroid[%d] = %.17g, want %.17g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResilientMatchesLloydUnderCrash: a CG crash mid-run triggers
+// checkpoint restart and re-planning over the survivors, and because
+// the full dataset is redistributed (no shard lost) the final
+// assignments still equal sequential Lloyd exactly, with centroids
+// within the reduction tolerance.
+func TestResilientMatchesLloydUnderCrash(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Spec: machine.MustSpec(1), K: 4, MaxIters: 12, Seed: 3}
+	ref, err := Lloyd(g, base.K, base.MaxIters, 0, base.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []Level{Level1, Level2} {
+		cfg := base
+		cfg.Level = level
+		clean, err := Run(cfg, g)
+		if err != nil {
+			t.Fatalf("%v clean: %v", level, err)
+		}
+		crashAt := 0.4 * totalIterSeconds(clean)
+		cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: crashAt}}}
+		cfg.CheckpointInterval = 2
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatalf("%v faulty: %v", level, err)
+		}
+		if res.Recovery == nil {
+			t.Fatalf("%v: no recovery report", level)
+		}
+		if res.Recovery.Replans < 1 {
+			t.Errorf("%v: crash at t=%.9g caused no replan", level, crashAt)
+		}
+		if len(res.Recovery.LostRanks) != 1 || res.Recovery.LostRanks[0] != 1 {
+			t.Errorf("%v: lost ranks = %v, want [1]", level, res.Recovery.LostRanks)
+		}
+		if res.Recovery.Checkpoints < 1 {
+			t.Errorf("%v: no checkpoints taken", level)
+		}
+		if res.Recovery.OverheadSeconds() <= 0 {
+			t.Errorf("%v: recovery overhead = %g, want positive", level, res.Recovery.OverheadSeconds())
+		}
+		for i := range ref.Assign {
+			if res.Assign[i] != ref.Assign[i] {
+				t.Fatalf("%v: assignment %d diverges from Lloyd under recovery", level, i)
+			}
+		}
+		centroidsClose(t, res.Centroids, ref.Centroids)
+	}
+}
+
+// TestResilientDeterministicTimeline: the same fault seed and config
+// must reproduce the recovery byte for byte — iteration times, total
+// virtual time, recovery report and final centroids.
+func TestResilientDeterministicTimeline(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 300, 6, 3, 0.08, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Run(Config{
+			Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 10, Seed: 5,
+			Faults: fault.Plan{
+				Seed:        21,
+				Crashes:     []fault.Crash{{CG: 2, At: 1.2e-5}},
+				MsgFailRate: 0.05,
+				DMAFailRate: 0.02,
+				MaxRetries:  64,
+			},
+			CheckpointInterval: 3,
+			Stats:              trace.NewStats(),
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.IterTimes) != len(b.IterTimes) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(a.IterTimes), len(b.IterTimes))
+	}
+	for i := range a.IterTimes {
+		if math.Float64bits(a.IterTimes[i]) != math.Float64bits(b.IterTimes[i]) {
+			t.Fatalf("iteration %d time diverged: %.17g vs %.17g", i, a.IterTimes[i], b.IterTimes[i])
+		}
+	}
+	for i := range a.Centroids {
+		if math.Float64bits(a.Centroids[i]) != math.Float64bits(b.Centroids[i]) {
+			t.Fatalf("centroid %d diverged across identical runs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Recovery, b.Recovery) {
+		t.Errorf("recovery reports diverged: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+	if a.Recovery.RetrySeconds <= 0 {
+		t.Errorf("transient fault rates produced no retry time")
+	}
+}
+
+// TestResilientTransientNoiseMatchesLloyd: pure transient noise (DMA
+// and message retries, a degraded link, a straggler CG) never loses
+// state, so the result must equal the fault-free one exactly — only
+// slower.
+func TestResilientTransientNoiseMatchesLloyd(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 300, 6, 3, 0.08, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: machine.MustSpec(1), Level: Level1, K: 3, MaxIters: 10, Seed: 5}
+	ref, err := Lloyd(g, cfg.K, cfg.MaxIters, 0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Plan{
+		Seed:        4,
+		MsgFailRate: 0.1,
+		DMAFailRate: 0.05,
+		MaxRetries:  64,
+		Links:       []fault.LinkDegrade{{FromCG: -1, ToCG: -1, From: 0, To: 1, Factor: 4}},
+		Stragglers:  []fault.Straggler{{CG: 1, CPE: -1, Factor: 1.5}},
+	}
+	res, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Assign {
+		if res.Assign[i] != ref.Assign[i] {
+			t.Fatalf("assignment %d diverges from Lloyd under transient noise", i)
+		}
+	}
+	centroidsClose(t, res.Centroids, ref.Centroids)
+	if res.Recovery.Replans != 0 {
+		t.Errorf("transient noise caused %d replans", res.Recovery.Replans)
+	}
+	if totalIterSeconds(res)+res.Recovery.OverheadSeconds() <= totalIterSeconds(clean) {
+		t.Errorf("noisy run (%.9g + %.9g overhead) not slower than clean run %.9g",
+			totalIterSeconds(res), res.Recovery.OverheadSeconds(), totalIterSeconds(clean))
+	}
+}
+
+// TestResilientDropLostShards: graceful degradation drops the dead
+// rank's shard; the run completes, reports the dropped samples, and
+// leaves their assignments at -1.
+func TestResilientDropLostShards(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: machine.MustSpec(1), Level: Level1, K: 4, MaxIters: 12, Seed: 3}
+	clean, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: 0.4 * totalIterSeconds(clean)}}}
+	cfg.CheckpointInterval = 2
+	cfg.DropLostShards = true
+	res, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := shareRange(g.N(), res.Plan.Ranks, 1)
+	if res.Recovery.DroppedSamples != hi-lo {
+		t.Errorf("dropped samples = %d, want shard size %d", res.Recovery.DroppedSamples, hi-lo)
+	}
+	for i := 0; i < g.N(); i++ {
+		if i >= lo && i < hi {
+			if res.Assign[i] != -1 {
+				t.Fatalf("dropped sample %d still assigned to %d", i, res.Assign[i])
+			}
+		} else if res.Assign[i] < 0 || res.Assign[i] >= cfg.K {
+			t.Fatalf("surviving sample %d has assignment %d", i, res.Assign[i])
+		}
+	}
+	for _, v := range res.Centroids {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("degraded run produced a non-finite centroid")
+		}
+	}
+}
+
+// TestResilientAllRanksDead: losing every rank is a typed failure, not
+// a hang.
+func TestResilientAllRanksDead(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 100, 4, 2, 0.1, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := make([]fault.Crash, machine.CGsPerNode)
+	for i := range crashes {
+		crashes[i] = fault.Crash{CG: i, At: 0}
+	}
+	_, err = Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5, Seed: 1,
+		Faults: fault.Plan{Crashes: crashes},
+	}, g)
+	if !errors.Is(err, mpi.ErrRankFailed) && !errors.Is(err, mpi.ErrCrashed) {
+		t.Fatalf("all-ranks-dead error = %v, want a rank-failure error", err)
+	}
+}
+
+// TestResilientConfigValidation: unsupported fault combinations are
+// rejected up front.
+func TestResilientConfigValidation(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 100, 4, 2, 0.1, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Plan{Crashes: []fault.Crash{{CG: 0, At: 1}}}
+	if _, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level3, K: 2, MaxIters: 5, Faults: faults,
+	}, g); err == nil {
+		t.Error("Level 3 with faults accepted")
+	}
+	if _, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5, Faults: faults, MiniBatch: 16,
+	}, g); err == nil {
+		t.Error("mini-batch with faults accepted")
+	}
+	bad := fault.Plan{Crashes: []fault.Crash{{CG: 0, At: 1}}, Stragglers: []fault.Straggler{{CG: 0, CPE: -1, Factor: 0.5}}}
+	if _, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5, Faults: bad,
+	}, g); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}
+
+// TestResilientLevelAutoAvoidsLevel3: automatic level selection under
+// faults only considers the levels the resilient driver implements.
+func TestResilientLevelAutoAvoidsLevel3(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 200, 6, 3, 0.1, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Spec: machine.MustSpec(1), Level: LevelAuto, K: 3, MaxIters: 5, Seed: 1,
+		Faults: fault.Plan{MsgFailRate: 0.01, MaxRetries: 16},
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Level == Level3 {
+		t.Errorf("auto level chose %v under faults", res.Plan.Level)
+	}
+}

@@ -12,6 +12,11 @@ import (
 // per-iteration times and the traffic breakdown.
 func Run(cfg Config, src dataset.Source) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if !cfg.Faults.Empty() && cfg.Stats == nil {
+		// The resilient driver accounts recovery cost through the trace
+		// counters, so it always needs a sink.
+		cfg.Stats = trace.NewStats()
+	}
 	var plan Plan
 	var err error
 	if cfg.Level == LevelAuto {
@@ -31,9 +36,12 @@ func Run(cfg Config, src dataset.Source) (*Result, error) {
 		before = cfg.Stats.Snapshot()
 	}
 	var res *Result
-	if plan.Level == Level3 {
+	switch {
+	case !cfg.Faults.Empty():
+		res, err = runResilient(cfg, src, plan)
+	case plan.Level == Level3:
 		res, err = runLevel3(cfg, src, plan)
-	} else {
+	default:
 		res, err = runReplicated(cfg, src, plan)
 	}
 	if err != nil {

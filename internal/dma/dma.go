@@ -14,6 +14,7 @@ package dma
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ldm"
 	"repro/internal/machine"
 	"repro/internal/trace"
@@ -25,6 +26,8 @@ type Engine struct {
 	bw      float64 // bytes per second
 	latency float64 // seconds per transfer
 	stats   *trace.Stats
+	inj     *fault.Injector // nil when no faults are injected
+	cg      int             // core group the injector attributes faults to
 }
 
 // New returns a DMA engine with the spec's published bandwidth and
@@ -43,6 +46,19 @@ func MustNew(spec *machine.Spec, stats *trace.Stats) *Engine {
 		panic(err)
 	}
 	return e
+}
+
+// WithFaults returns a derived engine whose transfers consult the
+// injector for transient failures attributed to core group cg. Each
+// transiently failed attempt is retried after an exponential backoff,
+// with the wasted transfer time and the backoff charged to the virtual
+// clock; once the retry budget is exhausted the transfer fails with an
+// error wrapping fault.ErrDMAFailed. The receiver is unchanged.
+func (e *Engine) WithFaults(inj *fault.Injector, cg int) *Engine {
+	d := *e
+	d.inj = inj
+	d.cg = cg
+	return &d
 }
 
 // TransferTime returns the modelled duration of moving n elements.
@@ -74,8 +90,39 @@ func (e *Engine) transfer(clock *vclock.Clock, dst, src []float64) error {
 	if len(src) == 0 {
 		return nil
 	}
+	if err := e.faultDelay(clock, len(src)); err != nil {
+		return err
+	}
 	copy(dst, src)
 	e.account(clock, len(src))
+	return nil
+}
+
+// faultDelay charges the retry cost of transient DMA faults for a
+// transfer of elems elements. The fault decision for each attempt is a
+// pure hash of (cg, virtual time, elems, attempt), so identical runs
+// replay identical fault streams regardless of goroutine scheduling.
+func (e *Engine) faultDelay(clock *vclock.Clock, elems int) error {
+	if e.inj == nil {
+		return nil
+	}
+	tt := e.TransferTime(elems)
+	now := 0.0
+	if clock != nil {
+		now = clock.Now()
+	}
+	for attempt := 0; e.inj.DMAFault(e.cg, now, elems, attempt); attempt++ {
+		if attempt >= e.inj.MaxRetries() {
+			return fmt.Errorf("dma: CG %d transfer of %d elems at t=%.9fs exhausted %d retries: %w",
+				e.cg, elems, now, e.inj.MaxRetries(), fault.ErrDMAFailed)
+		}
+		cost := tt + e.inj.Backoff(attempt+1)
+		e.stats.AddDMARetry(1, cost)
+		if clock != nil {
+			clock.Advance(cost)
+			now = clock.Now()
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// ParsePlan builds a Plan from the compact command-line syntax used by
+// the -faults flag. Items are separated by ';' (or ','):
+//
+//	seed=N              hash seed for transient-fault decisions
+//	crash=CG@T          fail-stop of core group CG at virtual time T
+//	crashnode=NODE@T    fail-stop of all 4 CGs of a node at time T
+//	dma=RATE            transient DMA failure probability per transfer
+//	msg=RATE            transient message failure probability per send
+//	retries=N           retry budget before a transient fault is fatal
+//	backoff=SECONDS     base retry backoff (doubles per attempt)
+//	hb=SECONDS          heartbeat failure-detection timeout
+//	link=A-B@T0:T1xF    slow link between CGs A and B (either may be *)
+//	                    during virtual window [T0,T1), factor F
+//	link=*@T0:T1xF      degrade the whole fabric during the window
+//	slow=CGxF           straggler core group, compute slowed by F
+//	slow=CG:CPExF       straggler CPE within a core group
+//
+// Example:
+//
+//	crash=3@0.002;dma=0.01;msg=0.005;link=0-1@0.001:0.004x8;slow=2x1.5
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	items := strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' })
+	for _, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: item %q is not key=value", item)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "crash":
+			err = parseCrash(&p, val, 1)
+		case "crashnode":
+			err = parseCrash(&p, val, machine.CGsPerNode)
+		case "dma":
+			p.DMAFailRate, err = strconv.ParseFloat(val, 64)
+		case "msg":
+			p.MsgFailRate, err = strconv.ParseFloat(val, 64)
+		case "retries":
+			p.MaxRetries, err = strconv.Atoi(val)
+		case "backoff":
+			p.RetryBackoff, err = strconv.ParseFloat(val, 64)
+		case "hb":
+			p.HeartbeatTimeout, err = strconv.ParseFloat(val, 64)
+		case "link":
+			err = parseLink(&p, val)
+		case "slow":
+			err = parseSlow(&p, val)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown item %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: parsing %q: %w", item, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// parseCrash handles crash=CG@T; span expands a node index into its
+// CGs (span = CGsPerNode for crashnode).
+func parseCrash(p *Plan, val string, span int) error {
+	unit, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want UNIT@TIME")
+	}
+	idx, err := strconv.Atoi(unit)
+	if err != nil {
+		return err
+	}
+	t, err := strconv.ParseFloat(at, 64)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < span; i++ {
+		p.Crashes = append(p.Crashes, Crash{CG: idx*span + i, At: t})
+	}
+	return nil
+}
+
+// parseLink handles link=A-B@T0:T1xF and link=*@T0:T1xF.
+func parseLink(p *Plan, val string) error {
+	ends, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want ENDPOINTS@T0:T1xF")
+	}
+	window, factor, ok := strings.Cut(rest, "x")
+	if !ok {
+		return fmt.Errorf("want a window xFACTOR suffix")
+	}
+	t0s, t1s, ok := strings.Cut(window, ":")
+	if !ok {
+		return fmt.Errorf("want T0:T1 window")
+	}
+	l := LinkDegrade{FromCG: -1, ToCG: -1}
+	if ends != "*" {
+		as, bs, ok := strings.Cut(ends, "-")
+		if !ok {
+			return fmt.Errorf("want A-B or * endpoints")
+		}
+		var err error
+		if l.FromCG, err = parseCG(as); err != nil {
+			return err
+		}
+		if l.ToCG, err = parseCG(bs); err != nil {
+			return err
+		}
+	}
+	var err error
+	if l.From, err = strconv.ParseFloat(t0s, 64); err != nil {
+		return err
+	}
+	if l.To, err = strconv.ParseFloat(t1s, 64); err != nil {
+		return err
+	}
+	if l.Factor, err = strconv.ParseFloat(factor, 64); err != nil {
+		return err
+	}
+	p.Links = append(p.Links, l)
+	return nil
+}
+
+// parseSlow handles slow=CGxF and slow=CG:CPExF.
+func parseSlow(p *Plan, val string) error {
+	unit, factor, ok := strings.Cut(val, "x")
+	if !ok {
+		return fmt.Errorf("want UNITxFACTOR")
+	}
+	s := Straggler{CPE: -1}
+	cgs, cpes, hasCPE := strings.Cut(unit, ":")
+	var err error
+	if s.CG, err = strconv.Atoi(cgs); err != nil {
+		return err
+	}
+	if hasCPE {
+		if s.CPE, err = strconv.Atoi(cpes); err != nil {
+			return err
+		}
+	}
+	if s.Factor, err = strconv.ParseFloat(factor, 64); err != nil {
+		return err
+	}
+	p.Stragglers = append(p.Stragglers, s)
+	return nil
+}
+
+// parseCG parses a CG endpoint that may be the * wildcard.
+func parseCG(s string) (int, error) {
+	if s == "*" {
+		return -1, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -1,0 +1,65 @@
+package fault
+
+import "testing"
+
+func TestParsePlanFull(t *testing.T) {
+	p, err := ParsePlan("seed=9; crash=3@0.5; crashnode=2@0.8; dma=0.01; msg=0.005; retries=5; backoff=1e-6; hb=2e-4; link=0-1@0.2:0.8x4; link=*@0.1:0.2x8; slow=2x1.5; slow=2:7x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	// crashnode=2 expands to CGs 8..11, plus the single crash of CG 3.
+	if len(p.Crashes) != 5 {
+		t.Fatalf("crashes = %v", p.Crashes)
+	}
+	if p.Crashes[0] != (Crash{CG: 3, At: 0.5}) || p.Crashes[1] != (Crash{CG: 8, At: 0.8}) || p.Crashes[4] != (Crash{CG: 11, At: 0.8}) {
+		t.Errorf("crash expansion wrong: %v", p.Crashes)
+	}
+	if p.DMAFailRate != 0.01 || p.MsgFailRate != 0.005 || p.MaxRetries != 5 {
+		t.Errorf("rates/retries wrong: %+v", p)
+	}
+	if p.RetryBackoff != 1e-6 || p.HeartbeatTimeout != 2e-4 {
+		t.Errorf("backoff/hb wrong: %+v", p)
+	}
+	if len(p.Links) != 2 || p.Links[0] != (LinkDegrade{FromCG: 0, ToCG: 1, From: 0.2, To: 0.8, Factor: 4}) {
+		t.Errorf("links wrong: %v", p.Links)
+	}
+	if p.Links[1].FromCG != -1 || p.Links[1].ToCG != -1 {
+		t.Errorf("wildcard link wrong: %v", p.Links[1])
+	}
+	if len(p.Stragglers) != 2 || p.Stragglers[0] != (Straggler{CG: 2, CPE: -1, Factor: 1.5}) ||
+		p.Stragglers[1] != (Straggler{CG: 2, CPE: 7, Factor: 3}) {
+		t.Errorf("stragglers wrong: %v", p.Stragglers)
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatalf("empty spec parsed to %+v", p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"crash=3",        // missing @time
+		"crash=x@1",      // bad CG
+		"bogus=1",        // unknown key
+		"dma=2",          // rate out of range (Validate)
+		"link=0-1@0.5x2", // missing window separator
+		"link=0-1@2:1x2", // inverted window
+		"slow=1",         // missing factor
+		"slow=1x0.5",     // factor below 1
+		"crash",          // not key=value
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -86,6 +86,7 @@ var simPackageSuffixes = []string{
 	"internal/vclock",
 	"internal/dma",
 	"internal/netmodel",
+	"internal/fault",
 }
 
 // DefaultConfig locates go.mod at or above dir and returns the

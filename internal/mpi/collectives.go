@@ -7,6 +7,19 @@ import "fmt"
 // subtree before forwarding, so the message count is O(log p) per
 // rank). Non-root ranks receive nil.
 func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
+	st := &opState{}
+	out, err := c.gatherOp(st, root, data)
+	if err != nil {
+		return nil, err
+	}
+	if st.fail != nil {
+		return nil, st.fail
+	}
+	return out, nil
+}
+
+// gatherOp is the poison-aware gather body.
+func (c *Comm) gatherOp(st *opState, root int, data []float64) ([]float64, error) {
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
 	}
@@ -20,7 +33,7 @@ func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
 	for mask := 1; ; mask <<= 1 {
 		if rel&mask != 0 {
 			dst := (c.rank - mask + c.size) % c.size
-			if err := c.send(dst, tag, subtree, []int64{int64(span)}); err != nil {
+			if err := c.opSend(st, dst, tag, subtree, []int64{int64(span)}); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -28,19 +41,24 @@ func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
 		if rel+mask < c.size {
 			srcRel := rel + mask
 			src := (srcRel + root) % c.size
-			d, meta, err := c.recv(src, tag)
+			d, meta, err := c.opRecv(st, src, tag)
 			if err != nil {
 				return nil, err
 			}
-			if len(meta) != 1 || len(d)%maxInts(n, 1) != 0 && n > 0 {
-				return nil, fmt.Errorf("mpi: gather payload mismatch on rank %d", c.rank)
+			if st.fail == nil {
+				if len(meta) != 1 || len(d)%maxInts(n, 1) != 0 && n > 0 {
+					return nil, fmt.Errorf("mpi: gather payload mismatch on rank %d", c.rank)
+				}
+				subtree = append(subtree, d...)
+				span += int(meta[0])
 			}
-			subtree = append(subtree, d...)
-			span += int(meta[0])
 		}
 		if mask >= c.size {
 			break
 		}
+	}
+	if st.fail != nil {
+		return nil, nil
 	}
 	// Root: subtree is ordered by relative rank; rotate to world order.
 	if rel != 0 {
@@ -73,6 +91,7 @@ func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
 	if root < 0 || root >= c.size {
 		return nil, fmt.Errorf("mpi: scatter root %d out of range", root)
 	}
+	st := &opState{}
 	tag := c.nextTag()
 	rel := (c.rank - root + c.size) % c.size
 	var subtree []float64 // slices for relative ranks [rel, rel+span)
@@ -95,16 +114,25 @@ func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
 			mask <<= 1
 		}
 		parent := (c.rank - mask + c.size) % c.size
-		d, _, err := c.recv(parent, tag)
+		d, _, err := c.opRecv(st, parent, tag)
 		if err != nil {
 			return nil, err
 		}
 		subtree = d
 	}
-	// Forward the upper halves to children, halving the span.
+	// Forward the upper halves to children, halving the span. A
+	// poisoned rank walks the identical child edges with the failure
+	// marker so the whole subtree learns of the failure.
 	span := largestSpan(rel, c.size)
 	for mask := span / 2; mask >= 1; mask /= 2 {
 		if rel+mask >= c.size {
+			continue
+		}
+		child := (c.rank + mask) % c.size
+		if st.fail != nil {
+			if err := c.opSend(st, child, tag, nil, nil); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if n < 0 {
@@ -113,16 +141,18 @@ func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
 			n = len(subtree) / cover
 		}
 		childCover := minInt(mask, c.size-rel-mask)
-		child := (c.rank + mask) % c.size
 		lo := mask * n
 		hi := lo + childCover*n
 		if hi > len(subtree) {
 			return nil, fmt.Errorf("mpi: scatter subtree underflow on rank %d", c.rank)
 		}
-		if err := c.send(child, tag, subtree[lo:hi], nil); err != nil {
+		if err := c.opSend(st, child, tag, subtree[lo:hi], nil); err != nil {
 			return nil, err
 		}
 		subtree = subtree[:lo]
+	}
+	if st.fail != nil {
+		return nil, st.fail
 	}
 	if n < 0 {
 		n = len(subtree)
@@ -151,15 +181,19 @@ func largestSpan(rel, size int) int {
 // and returns the concatenation ordered by rank, identical on every
 // rank.
 func (c *Comm) AllGatherFloats(contrib []float64) ([]float64, error) {
-	gathered, err := c.Gather(0, contrib)
+	st := &opState{}
+	gathered, err := c.gatherOp(st, 0, contrib)
 	if err != nil {
 		return nil, err
 	}
-	if c.rank != 0 {
+	if c.rank != 0 || gathered == nil {
 		gathered = make([]float64, len(contrib)*c.size)
 	}
-	if err := c.Bcast(0, gathered, nil); err != nil {
+	if err := c.bcastOp(st, 0, gathered, nil); err != nil {
 		return nil, err
+	}
+	if st.fail != nil {
+		return nil, st.fail
 	}
 	return gathered, nil
 }

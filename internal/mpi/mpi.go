@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/ldm"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
@@ -33,6 +34,7 @@ type packet struct {
 	time float64 // sender clock at send completion
 	data []float64
 	ints []int64
+	fail *RankFailure // non-nil marks a poison packet carrying a failure
 }
 
 // World owns the rank set of one simulated job.
@@ -50,6 +52,20 @@ type World struct {
 	nextID  uint64 // guarded by commIDs
 
 	clocks []*vclock.Clock
+
+	// Fault state (see fault.go). crashCh[g] is closed by rank g's own
+	// goroutine when its scheduled fail-stop manifests; crashedAt[g] is
+	// written before the close and read only by goroutines that
+	// observed the close (channel happens-before), so neither needs a
+	// mutex. aborted/abortFail are the per-epoch abort channels,
+	// reallocated at the start of every Run with the same publication
+	// discipline.
+	inj       *fault.Injector
+	netAt     *netmodel.Model // degraded-link view of net; nil without faults
+	crashCh   []chan struct{}
+	crashedAt []float64
+	aborted   []chan struct{}
+	abortFail []*RankFailure
 }
 
 // NewWorld creates a world of size ranks over the deployment spec.
@@ -92,24 +108,71 @@ func (w *World) ResetClocks() {
 // be called repeatedly on the same world; clocks persist across calls
 // unless ResetClocks is used.
 func (w *World) Run(fn func(c *Comm) error) error {
-	errs := make([]error, w.size)
-	var wg sync.WaitGroup
-	for r := 0; r < w.size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			members := make([]int, w.size)
-			for i := range members {
-				members[i] = i
+	members := make([]int, w.size)
+	for i := range members {
+		members[i] = i
+	}
+	return w.runMembers(0, members, fn)
+}
+
+// RunLive executes fn on every surviving rank over a communicator of
+// exactly the live ranks, ordered by world rank — the bootstrap
+// communicator a recovery epoch re-plans over. Crashed ranks do not
+// participate at all. Like Run, the first non-nil error by lowest
+// participating rank is returned.
+func (w *World) RunLive(fn func(c *Comm) error) error {
+	members := w.Alive()
+	if len(members) == 0 {
+		return fmt.Errorf("mpi: no surviving ranks: %w", ErrRankFailed)
+	}
+	return w.runMembers(w.newCommID(), members, fn)
+}
+
+// runMembers is the shared epoch driver of Run and RunLive: it clears
+// stale packets (messages addressed to ranks that crashed or aborted
+// in a previous epoch are dead letters), arms fresh abort channels,
+// runs fn on each member and publishes each member's failure to
+// late-blocking peers.
+func (w *World) runMembers(id uint64, members []int, fn func(c *Comm) error) error {
+	for g := range w.inbox {
+	drain:
+		for {
+			select {
+			case <-w.inbox[g]:
+			default:
+				break drain
 			}
-			comm := &Comm{w: w, id: 0, rank: r, size: w.size, members: members}
-			errs[r] = fn(comm)
-		}(r)
+		}
+		w.held[g] = nil
+	}
+	w.aborted = make([]chan struct{}, w.size)
+	for g := range w.aborted {
+		w.aborted[g] = make(chan struct{})
+	}
+	w.abortFail = make([]*RankFailure, w.size)
+
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, g := range members {
+		wg.Add(1)
+		go func(i, g int) {
+			defer wg.Done()
+			comm := &Comm{w: w, id: id, rank: i, size: len(members), members: members}
+			err := fn(comm)
+			errs[i] = err
+			if err != nil {
+				// Publish the failure before closing: peers blocked on
+				// this rank observe the close and adopt the root cause
+				// instead of deadlocking.
+				w.abortFail[g] = w.abortFailureFor(g, err, w.clocks[g].Now())
+				close(w.aborted[g])
+			}
+		}(i, g)
 	}
 	wg.Wait()
-	for r, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("mpi: rank %d: %w", r, err)
+			return fmt.Errorf("mpi: rank %d: %w", members[i], err)
 		}
 	}
 	return nil
@@ -169,6 +232,20 @@ func (c *Comm) nextTag() uint64 {
 // send transmits payloads to communicator rank dst under tag.
 // The payloads are copied; the caller may reuse its buffers.
 func (c *Comm) send(dst int, tag uint64, data []float64, ints []int64) error {
+	return c.sendPacket(dst, tag, data, ints, nil)
+}
+
+// sendPacket is send plus the fault machinery: the sender fail-stops
+// at this boundary if its crash time has passed, transient message
+// faults are retried with the wasted wire time and a doubling backoff
+// charged to the sender's clock, and delivery to a crashed or aborted
+// peer is dropped (dead letters would otherwise fill the peer's inbox
+// and block the sender forever). A non-nil fail marks the packet as
+// poison.
+func (c *Comm) sendPacket(dst int, tag uint64, data []float64, ints []int64, fail *RankFailure) error {
+	if err := c.checkSelfCrash(); err != nil {
+		return err
+	}
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("mpi: send destination %d out of range [0,%d)", dst, c.size)
 	}
@@ -180,45 +257,145 @@ func (c *Comm) send(dst int, tag uint64, data []float64, ints []int64) error {
 	c.w.stats.AddNet(int64(bytes))
 	// The sender is busy for the injection duration; the wire time is
 	// charged on the receive side through the timestamp.
-	p := packet{src: srcG, tag: tag, time: c.Clock().Now()}
+	p := packet{src: srcG, tag: tag, fail: fail}
 	if len(data) > 0 {
 		p.data = append(make([]float64, 0, len(data)), data...)
 	}
 	if len(ints) > 0 {
 		p.ints = append(make([]int64, 0, len(ints)), ints...)
 	}
-	tt, err := c.w.net.TransferTime(c.w.cgOf[srcG], c.w.cgOf[dstG], bytes)
+	srcCG, dstCG := c.w.cgOf[srcG], c.w.cgOf[dstG]
+	tt, err := c.w.transferTime(srcCG, dstCG, bytes, c.Clock().Now())
 	if err != nil {
 		return err
 	}
-	p.time += tt
-	c.w.inbox[dstG] <- p
+	if inj := c.w.inj; inj != nil {
+		for attempt := 0; inj.MsgFault(srcCG, dstCG, tag, c.Clock().Now(), attempt); attempt++ {
+			if attempt >= inj.MaxRetries() {
+				// A rank that cannot get a message through is dead to
+				// its peers: fail-stop so the heartbeat detector takes
+				// over instead of leaving the protocol half-run.
+				at := c.Clock().Now()
+				c.w.markCrashed(srcG, at)
+				return fmt.Errorf("mpi: rank %d message to rank %d (tag %#x) exhausted %d retries at t=%.9fs: %w",
+					srcG, dstG, tag, inj.MaxRetries(), at, fault.ErrLinkFailed)
+			}
+			cost := tt + inj.Backoff(attempt+1)
+			c.w.stats.AddNetRetry(1, cost)
+			c.Clock().Advance(cost)
+		}
+	}
+	p.time = c.Clock().Now() + tt
+	select {
+	case c.w.inbox[dstG] <- p:
+	case <-c.w.crashChOf(dstG):
+	case <-c.w.abortChOf(dstG):
+	}
 	return nil
+}
+
+// transferTime routes through the degraded-link model when faults are
+// installed and the plain model otherwise.
+func (w *World) transferTime(srcCG, dstCG, bytes int, at float64) (float64, error) {
+	if w.netAt != nil {
+		return w.netAt.TransferTimeAt(srcCG, dstCG, bytes, at)
+	}
+	return w.net.TransferTime(srcCG, dstCG, bytes)
 }
 
 // recv blocks until the message with the given tag from communicator
 // rank src arrives, reconciles the clock and returns the payloads.
+// Failures (poison packets, crashed or aborted peers) surface as hard
+// errors here; collective internals use recvFull to fold them into an
+// opState instead.
 func (c *Comm) recv(src int, tag uint64) ([]float64, []int64, error) {
+	d, i, fail, err := c.recvFull(src, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fail != nil {
+		return nil, nil, fail
+	}
+	return d, i, nil
+}
+
+// recvFull is the failure-aware receive. The hard error (last return)
+// is only ever the caller's own fail-stop; a peer's failure comes back
+// as a *RankFailure with nil payloads. See the determinism argument at
+// the top of fault.go: the inbox drain on crash/abort wake-up
+// guarantees a real matching packet always wins over a failure report,
+// independent of goroutine scheduling.
+func (c *Comm) recvFull(src int, tag uint64) ([]float64, []int64, *RankFailure, error) {
+	if err := c.checkSelfCrash(); err != nil {
+		return nil, nil, nil, err
+	}
 	if src < 0 || src >= c.size {
-		return nil, nil, fmt.Errorf("mpi: recv source %d out of range [0,%d)", src, c.size)
+		return nil, nil, nil, fmt.Errorf("mpi: recv source %d out of range [0,%d)", src, c.size)
 	}
 	srcG := c.members[src]
 	me := c.Global()
 	// First, scan messages held back earlier.
+	if p, ok := c.takeHeld(me, srcG, tag); ok {
+		return c.deliver(p)
+	}
+	for {
+		select {
+		case p := <-c.w.inbox[me]:
+			if p.src == srcG && p.tag == tag {
+				return c.deliver(p)
+			}
+			c.w.held[me] = append(c.w.held[me], p)
+		case <-c.w.crashChOf(srcG):
+			if p, ok := c.drainAndTake(me, srcG, tag); ok {
+				return c.deliver(p)
+			}
+			fail := c.w.crashFailure(srcG)
+			c.Clock().AdvanceTo(fail.DetectedAt)
+			return nil, nil, fail, nil
+		case <-c.w.abortChOf(srcG):
+			if p, ok := c.drainAndTake(me, srcG, tag); ok {
+				return c.deliver(p)
+			}
+			fail := c.w.abortFail[srcG]
+			c.Clock().AdvanceTo(fail.DetectedAt)
+			return nil, nil, fail, nil
+		}
+	}
+}
+
+// deliver reconciles the clock with a matched packet and unwraps it.
+func (c *Comm) deliver(p packet) ([]float64, []int64, *RankFailure, error) {
+	c.Clock().AdvanceTo(p.time)
+	if p.fail != nil {
+		return nil, nil, p.fail, nil
+	}
+	return p.data, p.ints, nil, nil
+}
+
+// takeHeld removes and returns the held packet matching (src, tag).
+func (c *Comm) takeHeld(me, srcG int, tag uint64) (packet, bool) {
 	for i, h := range c.w.held[me] {
 		if h.src == srcG && h.tag == tag {
 			c.w.held[me] = append(c.w.held[me][:i], c.w.held[me][i+1:]...)
-			c.Clock().AdvanceTo(h.time)
-			return h.data, h.ints, nil
+			return h, true
 		}
 	}
+	return packet{}, false
+}
+
+// drainAndTake moves every already-delivered packet from the inbox to
+// the held buffer, then looks for a match: when a peer's crash or
+// abort channel closes, every packet it ever sent is already buffered
+// (channel happens-before), so preferring a buffered match keeps the
+// real-message-versus-failure decision deterministic.
+func (c *Comm) drainAndTake(me, srcG int, tag uint64) (packet, bool) {
 	for {
-		p := <-c.w.inbox[me]
-		if p.src == srcG && p.tag == tag {
-			c.Clock().AdvanceTo(p.time)
-			return p.data, p.ints, nil
+		select {
+		case p := <-c.w.inbox[me]:
+			c.w.held[me] = append(c.w.held[me], p)
+		default:
+			return c.takeHeld(me, srcG, tag)
 		}
-		c.w.held[me] = append(c.w.held[me], p)
 	}
 }
 
@@ -241,25 +418,39 @@ func (c *Comm) Recv(src int, tag int) ([]float64, []int64, error) {
 
 // Barrier blocks until every rank of the communicator has entered,
 // using the dissemination algorithm (works for any size, log2 rounds).
+// A failure anywhere poisons every survivor: dissemination is an
+// allgather pattern, so the failure marker reaches all ranks.
 func (c *Comm) Barrier() error {
+	st := &opState{}
 	for step := 1; step < c.size; step *= 2 {
 		tag := c.nextTag()
 		to := (c.rank + step) % c.size
 		from := (c.rank - step + c.size) % c.size
-		if err := c.send(to, tag, nil, nil); err != nil {
+		if err := c.opSend(st, to, tag, nil, nil); err != nil {
 			return err
 		}
-		if _, _, err := c.recv(from, tag); err != nil {
+		if _, _, err := c.opRecv(st, from, tag); err != nil {
 			return err
 		}
 	}
-	return nil
+	return st.err()
 }
 
 // Bcast distributes root's data and ints to every rank using a
 // binomial tree. Non-root ranks receive into the provided slices,
 // which must have the same lengths as root's.
 func (c *Comm) Bcast(root int, data []float64, ints []int64) error {
+	st := &opState{}
+	if err := c.bcastOp(st, root, data, ints); err != nil {
+		return err
+	}
+	return st.err()
+}
+
+// bcastOp is the poison-aware broadcast body shared by Bcast and the
+// composite collectives: a poisoned rank walks the identical tree
+// forwarding the failure marker instead of the payload.
+func (c *Comm) bcastOp(st *opState, root int, data []float64, ints []int64) error {
 	if root < 0 || root >= c.size {
 		return fmt.Errorf("mpi: bcast root %d out of range", root)
 	}
@@ -270,15 +461,17 @@ func (c *Comm) Bcast(root int, data []float64, ints []int64) error {
 	for mask < c.size {
 		if rel&mask != 0 {
 			src := (c.rank - mask + c.size) % c.size
-			d, i, err := c.recv(commRank(src), tag)
+			d, i, err := c.opRecv(st, commRank(src), tag)
 			if err != nil {
 				return err
 			}
-			if len(d) != len(data) || len(i) != len(ints) {
-				return fmt.Errorf("mpi: bcast payload mismatch on rank %d", c.rank)
+			if st.fail == nil {
+				if len(d) != len(data) || len(i) != len(ints) {
+					return fmt.Errorf("mpi: bcast payload mismatch on rank %d", c.rank)
+				}
+				copy(data, d)
+				copy(ints, i)
 			}
-			copy(data, d)
-			copy(ints, i)
 			break
 		}
 		mask <<= 1
@@ -287,7 +480,7 @@ func (c *Comm) Bcast(root int, data []float64, ints []int64) error {
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if rel+mask < c.size && rel&(mask-1) == 0 && rel&mask == 0 {
 			dst := (c.rank + mask) % c.size
-			if err := c.send(dst, tag, data, ints); err != nil {
+			if err := c.opSend(st, dst, tag, data, ints); err != nil {
 				return err
 			}
 		}
@@ -304,6 +497,17 @@ func commRank(r int) int { return r }
 // left in an unspecified partially-combined state; callers that need
 // the result everywhere use AllReduceSum.
 func (c *Comm) Reduce(root int, data []float64, ints []int64) error {
+	st := &opState{}
+	if err := c.reduceOp(st, root, data, ints); err != nil {
+		return err
+	}
+	return st.err()
+}
+
+// reduceOp is the poison-aware binomial reduce body. A failure in any
+// subtree propagates up to the root, which is what lets the composite
+// AllReduceSum distribute it to every survivor in the broadcast phase.
+func (c *Comm) reduceOp(st *opState, root int, data []float64, ints []int64) error {
 	if root < 0 || root >= c.size {
 		return fmt.Errorf("mpi: reduce root %d out of range", root)
 	}
@@ -312,22 +516,24 @@ func (c *Comm) Reduce(root int, data []float64, ints []int64) error {
 	for mask := 1; mask < c.size; mask <<= 1 {
 		if rel&mask != 0 {
 			dst := (c.rank - mask + c.size) % c.size
-			return c.send(dst, tag, data, ints)
+			return c.opSend(st, dst, tag, data, ints)
 		}
 		if rel+mask < c.size {
 			src := (c.rank + mask) % c.size
-			d, i, err := c.recv(commRank(src), tag)
+			d, i, err := c.opRecv(st, commRank(src), tag)
 			if err != nil {
 				return err
 			}
-			if len(d) != len(data) || len(i) != len(ints) {
-				return fmt.Errorf("mpi: reduce payload mismatch on rank %d", c.rank)
-			}
-			for j, v := range d {
-				data[j] += v
-			}
-			for j, v := range i {
-				ints[j] += v
+			if st.fail == nil {
+				if len(d) != len(data) || len(i) != len(ints) {
+					return fmt.Errorf("mpi: reduce payload mismatch on rank %d", c.rank)
+				}
+				for j, v := range d {
+					data[j] += v
+				}
+				for j, v := range i {
+					ints[j] += v
+				}
 			}
 		}
 	}
@@ -336,15 +542,21 @@ func (c *Comm) Reduce(root int, data []float64, ints []int64) error {
 
 // AllReduceSum sums data and ints element-wise across all ranks and
 // leaves the identical result on every rank (reduce to rank 0, then
-// broadcast, so results are bitwise identical everywhere).
+// broadcast, so results are bitwise identical everywhere). On failure
+// every survivor returns the same *RankFailure: the broadcast phase
+// always runs, distributing the poison the reduce phase collected.
 func (c *Comm) AllReduceSum(data []float64, ints []int64) error {
 	if c.size == 1 {
-		return nil
+		return c.checkSelfCrash()
 	}
-	if err := c.Reduce(0, data, ints); err != nil {
+	st := &opState{}
+	if err := c.reduceOp(st, 0, data, ints); err != nil {
 		return err
 	}
-	return c.Bcast(0, data, ints)
+	if err := c.bcastOp(st, 0, data, ints); err != nil {
+		return err
+	}
+	return st.err()
 }
 
 // AllReduceMinPairs reduces (value, payload) pairs with lexicographic
@@ -357,34 +569,40 @@ func (c *Comm) AllReduceMinPairs(vals []float64, idxs []int64) error {
 		return fmt.Errorf("mpi: min-pairs length mismatch %d vs %d", len(vals), len(idxs))
 	}
 	if c.size == 1 {
-		return nil
+		return c.checkSelfCrash()
 	}
+	st := &opState{}
 	tag := c.nextTag()
 	// Binomial reduce to rank 0 with min combiner.
 	for mask := 1; mask < c.size; mask <<= 1 {
 		if c.rank&mask != 0 {
-			if err := c.send(c.rank-mask, tag, vals, idxs); err != nil {
+			if err := c.opSend(st, c.rank-mask, tag, vals, idxs); err != nil {
 				return err
 			}
 			break
 		}
 		if c.rank+mask < c.size {
-			d, i, err := c.recv(c.rank+mask, tag)
+			d, i, err := c.opRecv(st, c.rank+mask, tag)
 			if err != nil {
 				return err
 			}
-			if len(d) != len(vals) {
-				return fmt.Errorf("mpi: min-pairs payload mismatch on rank %d", c.rank)
-			}
-			for j := range vals {
-				//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
-				if d[j] < vals[j] || (d[j] == vals[j] && i[j] < idxs[j]) {
-					vals[j], idxs[j] = d[j], i[j]
+			if st.fail == nil {
+				if len(d) != len(vals) {
+					return fmt.Errorf("mpi: min-pairs payload mismatch on rank %d", c.rank)
+				}
+				for j := range vals {
+					//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
+					if d[j] < vals[j] || (d[j] == vals[j] && i[j] < idxs[j]) {
+						vals[j], idxs[j] = d[j], i[j]
+					}
 				}
 			}
 		}
 	}
-	return c.Bcast(0, vals, idxs)
+	if err := c.bcastOp(st, 0, vals, idxs); err != nil {
+		return err
+	}
+	return st.err()
 }
 
 // AllGatherInts gathers each rank's ints contribution and returns the
@@ -395,28 +613,37 @@ func (c *Comm) AllGatherInts(contrib []int64) ([]int64, error) {
 	all := make([]int64, n*c.size)
 	copy(all[c.rank*n:], contrib)
 	if c.size == 1 {
+		if err := c.checkSelfCrash(); err != nil {
+			return nil, err
+		}
 		return all, nil
 	}
+	st := &opState{}
 	tag := c.nextTag()
 	// Gather to rank 0, then broadcast. Simple and deterministic.
 	if c.rank == 0 {
 		for src := 1; src < c.size; src++ {
-			_, i, err := c.recv(src, tag)
+			_, i, err := c.opRecv(st, src, tag)
 			if err != nil {
 				return nil, err
 			}
-			if len(i) != n {
-				return nil, fmt.Errorf("mpi: allgather size mismatch from rank %d: %d vs %d", src, len(i), n)
+			if st.fail == nil {
+				if len(i) != n {
+					return nil, fmt.Errorf("mpi: allgather size mismatch from rank %d: %d vs %d", src, len(i), n)
+				}
+				copy(all[src*n:], i)
 			}
-			copy(all[src*n:], i)
 		}
 	} else {
-		if err := c.send(0, tag, nil, contrib); err != nil {
+		if err := c.opSend(st, 0, tag, nil, contrib); err != nil {
 			return nil, err
 		}
 	}
-	if err := c.Bcast(0, nil, all); err != nil {
+	if err := c.bcastOp(st, 0, nil, all); err != nil {
 		return nil, err
+	}
+	if st.fail != nil {
+		return nil, st.fail
 	}
 	return all, nil
 }

@@ -32,8 +32,9 @@ func (c *Comm) AllReduceSumAuto(data []float64, ints []int64) error {
 func (c *Comm) AllReduceSumRing(data []float64, ints []int64) error {
 	p := c.size
 	if p == 1 {
-		return nil
+		return c.checkSelfCrash()
 	}
+	st := &opState{}
 	next := (c.rank + 1) % p
 	prev := (c.rank - 1 + p) % p
 	segF := func(s int) (int, int) { return segment(len(data), p, s) }
@@ -41,30 +42,34 @@ func (c *Comm) AllReduceSumRing(data []float64, ints []int64) error {
 
 	// Reduce-scatter: in step t, send segment (rank-t) and receive and
 	// accumulate segment (rank-t-1). After p-1 steps, rank r holds the
-	// fully reduced segment (r+1) mod p.
+	// fully reduced segment (r+1) mod p. A failure travels forward one
+	// hop per step as poison, so the 2(p-1) total steps are enough to
+	// reach every survivor.
 	for t := 0; t < p-1; t++ {
 		tag := c.nextTag()
 		sendSeg := mod(c.rank-t, p)
 		recvSeg := mod(c.rank-t-1, p)
 		fLo, fHi := segF(sendSeg)
 		iLo, iHi := segI(sendSeg)
-		if err := c.send(next, tag, data[fLo:fHi], ints[iLo:iHi]); err != nil {
+		if err := c.opSend(st, next, tag, data[fLo:fHi], ints[iLo:iHi]); err != nil {
 			return err
 		}
-		d, ii, err := c.recv(prev, tag)
+		d, ii, err := c.opRecv(st, prev, tag)
 		if err != nil {
 			return err
 		}
-		fLo, fHi = segF(recvSeg)
-		iLo, iHi = segI(recvSeg)
-		if len(d) != fHi-fLo || len(ii) != iHi-iLo {
-			return fmt.Errorf("mpi: ring reduce-scatter segment mismatch on rank %d step %d", c.rank, t)
-		}
-		for j, v := range d {
-			data[fLo+j] += v
-		}
-		for j, v := range ii {
-			ints[iLo+j] += v
+		if st.fail == nil {
+			fLo, fHi = segF(recvSeg)
+			iLo, iHi = segI(recvSeg)
+			if len(d) != fHi-fLo || len(ii) != iHi-iLo {
+				return fmt.Errorf("mpi: ring reduce-scatter segment mismatch on rank %d step %d", c.rank, t)
+			}
+			for j, v := range d {
+				data[fLo+j] += v
+			}
+			for j, v := range ii {
+				ints[iLo+j] += v
+			}
 		}
 	}
 	// Allgather: circulate the finished segments. In step t, send
@@ -75,22 +80,24 @@ func (c *Comm) AllReduceSumRing(data []float64, ints []int64) error {
 		recvSeg := mod(c.rank-t, p)
 		fLo, fHi := segF(sendSeg)
 		iLo, iHi := segI(sendSeg)
-		if err := c.send(next, tag, data[fLo:fHi], ints[iLo:iHi]); err != nil {
+		if err := c.opSend(st, next, tag, data[fLo:fHi], ints[iLo:iHi]); err != nil {
 			return err
 		}
-		d, ii, err := c.recv(prev, tag)
+		d, ii, err := c.opRecv(st, prev, tag)
 		if err != nil {
 			return err
 		}
-		fLo, fHi = segF(recvSeg)
-		iLo, iHi = segI(recvSeg)
-		if len(d) != fHi-fLo || len(ii) != iHi-iLo {
-			return fmt.Errorf("mpi: ring allgather segment mismatch on rank %d step %d", c.rank, t)
+		if st.fail == nil {
+			fLo, fHi = segF(recvSeg)
+			iLo, iHi = segI(recvSeg)
+			if len(d) != fHi-fLo || len(ii) != iHi-iLo {
+				return fmt.Errorf("mpi: ring allgather segment mismatch on rank %d step %d", c.rank, t)
+			}
+			copy(data[fLo:fHi], d)
+			copy(ints[iLo:iHi], ii)
 		}
-		copy(data[fLo:fHi], d)
-		copy(ints[iLo:iHi], ii)
 	}
-	return nil
+	return st.err()
 }
 
 // segment splits n elements into p near-equal contiguous segments and

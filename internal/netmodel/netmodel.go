@@ -17,6 +17,16 @@ import (
 // Model computes transfer times between core groups of a deployment.
 type Model struct {
 	spec *machine.Spec
+	deg  Degrader
+}
+
+// Degrader supplies time-dependent link slowdown factors. It is
+// implemented by *fault.Injector; netmodel depends only on the
+// interface so the timing model stays fault-agnostic.
+type Degrader interface {
+	// LinkFactor returns the bandwidth-division factor (at least 1) in
+	// effect on the src-dst link at virtual time at.
+	LinkFactor(src, dst int, at float64) float64
 }
 
 // New returns a network model over the given deployment spec.
@@ -76,6 +86,16 @@ func (m *Model) Latency(d machine.Distance) float64 {
 	}
 }
 
+// Degraded returns a model over the same deployment that consults d
+// for link degradation in TransferTimeAt. A nil degrader returns the
+// receiver unchanged, so fault-free paths share one model.
+func (m *Model) Degraded(d Degrader) *Model {
+	if d == nil {
+		return m
+	}
+	return &Model{spec: m.spec, deg: d}
+}
+
 // TransferTime returns the modelled time in seconds to move n bytes
 // from CG src to CG dst. Zero-byte messages still pay latency (they
 // model synchronization signals).
@@ -88,6 +108,25 @@ func (m *Model) TransferTime(src, dst, n int) (float64, error) {
 		return 0, err
 	}
 	return m.Latency(d) + float64(n)/m.Bandwidth(d), nil
+}
+
+// TransferTimeAt is TransferTime evaluated at virtual time at: when a
+// degrader is installed, the serialization term is stretched by the
+// link factor in effect at that time while the startup latency is
+// unchanged (degraded links lose bandwidth, not signalling).
+func (m *Model) TransferTimeAt(src, dst, n int, at float64) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("netmodel: negative message size %d", n)
+	}
+	d, err := m.spec.DistanceBetween(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	factor := 1.0
+	if m.deg != nil {
+		factor = m.deg.LinkFactor(src, dst, at)
+	}
+	return m.Latency(d) + float64(n)*factor/m.Bandwidth(d), nil
 }
 
 // GroupDistance returns the widest distance class spanned by the CG

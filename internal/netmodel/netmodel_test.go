@@ -118,3 +118,58 @@ func TestGroupDistance(t *testing.T) {
 		t.Error("empty group: want error")
 	}
 }
+
+// windowDegrader doubles the serialization cost of every link inside
+// the virtual window [0.1, 0.2).
+type windowDegrader struct{}
+
+func (windowDegrader) LinkFactor(src, dst int, at float64) float64 {
+	if at >= 0.1 && at < 0.2 {
+		return 2
+	}
+	return 1
+}
+
+func TestTransferTimeAtDegraded(t *testing.T) {
+	m := MustNew(machine.MustSpec(512))
+	d := m.Degraded(windowDegrader{})
+	clean, err := m.TransferTime(0, 8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside, err := d.TransferTimeAt(0, 8, 1<<20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outside != clean {
+		t.Errorf("outside the window: %g, want the clean time %g", outside, clean)
+	}
+	inside, err := d.TransferTimeAt(0, 8, 1<<20, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inside <= clean {
+		t.Errorf("inside the window: %g, should exceed the clean time %g", inside, clean)
+	}
+	// Only the serialization term doubles; latency is unchanged.
+	dclass, err := m.Spec().DistanceBetween(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := m.Latency(dclass)
+	if got, want := inside-lat, 2*(clean-lat); got < want*0.999 || got > want*1.001 {
+		t.Errorf("degraded serialization = %g, want %g", got, want)
+	}
+	// Latency-only messages are immune to bandwidth degradation.
+	zeroIn, _ := d.TransferTimeAt(0, 8, 0, 0.15)
+	zeroOut, _ := m.TransferTime(0, 8, 0)
+	if zeroIn != zeroOut {
+		t.Errorf("zero-byte message degraded: %g vs %g", zeroIn, zeroOut)
+	}
+	if m.Degraded(nil) != m {
+		t.Error("Degraded(nil) should return the receiver")
+	}
+	if _, err := d.TransferTimeAt(0, 8, -1, 0); err == nil {
+		t.Error("negative size: want error")
+	}
+}

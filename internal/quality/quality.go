@@ -176,3 +176,46 @@ func Accuracy(pred, truth []int) (float64, error) {
 	}
 	return float64(correct) / float64(len(pred)), nil
 }
+
+// ObjectiveSurviving computes the mean objective over the samples that
+// carry an assignment, skipping entries with assign[i] < 0 — the
+// convention the resilient engine uses for shards dropped after a rank
+// failure. It returns the mean, the number of surviving samples, and
+// an error when none survive. On a fully-assigned result it equals
+// Objective.
+func ObjectiveSurviving(src dataset.Source, centroids []float64, d int, assign []int) (float64, int, error) {
+	n := src.N()
+	if src.D() != d {
+		return 0, 0, fmt.Errorf("quality: source d=%d, centroids d=%d", src.D(), d)
+	}
+	if len(assign) != n {
+		return 0, 0, fmt.Errorf("quality: assignment has %d entries, want %d", len(assign), n)
+	}
+	if len(centroids)%d != 0 || len(centroids) == 0 {
+		return 0, 0, fmt.Errorf("quality: centroid matrix size %d not a multiple of d=%d", len(centroids), d)
+	}
+	k := len(centroids) / d
+	buf := make([]float64, d)
+	total := 0.0
+	alive := 0
+	for i := 0; i < n; i++ {
+		j := assign[i]
+		if j < 0 {
+			continue
+		}
+		if j >= k {
+			return 0, 0, fmt.Errorf("quality: sample %d assigned to centroid %d, want [0,%d)", i, j, k)
+		}
+		src.Sample(i, buf)
+		c := centroids[j*d : (j+1)*d]
+		for u := 0; u < d; u++ {
+			diff := buf[u] - c[u]
+			total += diff * diff
+		}
+		alive++
+	}
+	if alive == 0 {
+		return 0, 0, fmt.Errorf("quality: no surviving samples to score")
+	}
+	return total / float64(alive), alive, nil
+}

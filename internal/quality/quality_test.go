@@ -175,3 +175,37 @@ func TestAccuracyDeterministicTieBreak(t *testing.T) {
 		t.Error("Accuracy not deterministic")
 	}
 }
+
+func TestObjectiveSurviving(t *testing.T) {
+	m, err := dataset.FromRows([][]float64{{0, 0}, {2, 0}, {4, 0}, {6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := []float64{0, 0, 6, 0}
+	full := []int{0, 0, 1, 1}
+	want, err := Objective(m, cents, 2, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, alive, err := ObjectiveSurviving(m, cents, 2, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive != 4 || got != want {
+		t.Errorf("fully assigned: got %g over %d, want %g over 4", got, alive, want)
+	}
+	part := []int{0, -1, -1, 1}
+	got, alive, err = ObjectiveSurviving(m, cents, 2, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive != 2 || got != 0 {
+		t.Errorf("dropped middle samples: got %g over %d, want 0 over 2", got, alive)
+	}
+	if _, _, err := ObjectiveSurviving(m, cents, 2, []int{-1, -1, -1, -1}); err == nil {
+		t.Error("all-dropped assignment accepted")
+	}
+	if _, _, err := ObjectiveSurviving(m, cents, 2, []int{0, 0, 0, 9}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}

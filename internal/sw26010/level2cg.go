@@ -23,10 +23,11 @@ import (
 // partner id XOR step then always stays on a row bus (step < 8) or a
 // column bus (step >= 8), which is what makes the hardware mapping
 // legal.
-func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgroup, maxIters int, tolerance float64) (*Result, error) {
+func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgroup, maxIters int, tolerance float64, opts ...Option) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	opt := applyOpts(opts)
 	if mgroup < 1 || mgroup > machine.CPEsPerCG || mgroup&(mgroup-1) != 0 {
 		return nil, fmt.Errorf("sw26010: mgroup must be a power of two in [1,64], got %d", mgroup)
 	}
@@ -47,6 +48,9 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 	engine, err := dma.New(spec, stats)
 	if err != nil {
 		return nil, err
+	}
+	if opt.inj != nil {
+		engine = engine.WithFaults(opt.inj, opt.cg)
 	}
 
 	mainCents := append([]float64(nil), initial...)
@@ -88,6 +92,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 		cents := make([]float64, kLocal*d)
 		sums := make([]float64, kLocal*d)
 		counts := make([]int64, kLocal)
+		slow := opt.slowdown(c.ID())
 
 		lo, hi := share(n, groups, group)
 		for iter := 0; iter < maxIters; iter++ {
@@ -122,7 +127,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 				}
 				if kLocal > 0 {
 					stats.AddFlops(int64(d) * int64(3*kLocal))
-					c.Clock().Advance(float64(d*3*kLocal) / spec.CPU.FlopsPerCPE)
+					c.Clock().AdvanceScaled(float64(d*3*kLocal)/spec.CPU.FlopsPerCPE, slow)
 				}
 				// a(i) = min a(i)': min-reduce within the group.
 				wJ, _, err := minReduceGroup(c, mgroup, bestJ, bestD)
@@ -140,7 +145,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 					}
 					counts[wJ-kLo]++
 					stats.AddFlops(int64(d))
-					c.Clock().Advance(float64(d) / spec.CPU.FlopsPerCPE)
+					c.Clock().AdvanceScaled(float64(d)/spec.CPU.FlopsPerCPE, slow)
 				}
 			}
 			// Combine slice sums across the groups: recursive doubling

@@ -1,0 +1,44 @@
+package sw26010
+
+import "repro/internal/fault"
+
+// Option configures a fine-grained CG run without widening the core
+// entry-point signatures for every fault-free caller.
+type Option func(*runOpts)
+
+type runOpts struct {
+	inj *fault.Injector
+	cg  int
+}
+
+// WithFaults makes the run consult the injector, attributing its
+// faults to global core group cg: DMA transfers retry transient
+// failures (with backoff charged to the issuing CPE's clock) and
+// straggler CPEs advance their clocks by the scaled compute cost, so
+// the mesh collectives naturally stretch the iteration to the slowest
+// CPE — the same mechanism that slows a real CG down.
+func WithFaults(inj *fault.Injector, cg int) Option {
+	return func(o *runOpts) {
+		o.inj = inj
+		o.cg = cg
+	}
+}
+
+func applyOpts(opts []Option) runOpts {
+	var o runOpts
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// slowdown returns the compute-time factor of one CPE under the
+// options (1 when no faults are injected).
+func (o runOpts) slowdown(cpe int) float64 {
+	if o.inj == nil {
+		return 1
+	}
+	return o.inj.ComputeFactor(o.cg, cpe)
+}

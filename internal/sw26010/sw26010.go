@@ -41,10 +41,11 @@ type Result struct {
 // allocating the buffers), samples stream through a double-buffered
 // DMA chunk, and the Update step's two AllReduce operations run as
 // real register communication on the mesh.
-func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxIters int, tolerance float64) (*Result, error) {
+func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxIters int, tolerance float64, opts ...Option) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	opt := applyOpts(opts)
 	n, d := src.N(), src.D()
 	if len(initial) == 0 || len(initial)%d != 0 {
 		return nil, fmt.Errorf("sw26010: initial centroid matrix size %d not a positive multiple of d=%d", len(initial), d)
@@ -62,6 +63,9 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 	engine, err := dma.New(spec, stats)
 	if err != nil {
 		return nil, err
+	}
+	if opt.inj != nil {
+		engine = engine.WithFaults(opt.inj, opt.cg)
 	}
 
 	// Shared "main memory": the centroid matrix CPE 0 writes back each
@@ -108,6 +112,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 		cents := make([]float64, k*d)
 		sums := make([]float64, k*d)
 		counts := make([]int64, k)
+		slow := opt.slowdown(c.ID())
 
 		lo, hi := share(n, machine.CPEsPerCG, c.ID())
 		for iter := 0; iter < maxIters; iter++ {
@@ -151,7 +156,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 					counts[best]++
 					stats.AddFlops(int64(d) * int64(3*k+1))
 				}
-				c.Clock().Advance(float64(m*d*(3*k+1)) / spec.CPU.FlopsPerCPE)
+				c.Clock().AdvanceScaled(float64(m*d*(3*k+1))/spec.CPU.FlopsPerCPE, slow)
 			}
 			// The two AllReduce operations of Algorithm 1 line 14, as
 			// one fused register-communication allreduce.

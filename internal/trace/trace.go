@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -21,7 +22,41 @@ type Stats struct {
 	netBytes     atomic.Int64
 	netMessages  atomic.Int64
 	flops        atomic.Int64
+
+	// Recovery counters: what fault injection cost the run, phase by
+	// phase, with the time components in virtual seconds — the same
+	// metric every figure reports.
+	dmaRetries        atomic.Int64
+	netRetries        atomic.Int64
+	checkpoints       atomic.Int64
+	checkpointBytes   atomic.Int64
+	replans           atomic.Int64
+	retrySeconds      atomicSeconds
+	checkpointSeconds atomicSeconds
+	replanSeconds     atomicSeconds
+	redoSeconds       atomicSeconds
 }
+
+// atomicSeconds accumulates a float64 duration with lock-free
+// compare-and-swap on the raw bits, so concurrent simulated units can
+// charge virtual seconds to a shared sink.
+type atomicSeconds struct {
+	bits atomic.Uint64
+}
+
+// Add folds d into the accumulator.
+func (a *atomicSeconds) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the accumulated seconds.
+func (a *atomicSeconds) Load() float64 { return math.Float64frombits(a.bits.Load()) }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats { return &Stats{} }
@@ -64,6 +99,57 @@ func (s *Stats) AddFlops(n int64) {
 	s.flops.Add(n)
 }
 
+// AddDMARetry records n transiently failed DMA attempts that were
+// retried, charging their total virtual-time cost.
+func (s *Stats) AddDMARetry(n int64, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.dmaRetries.Add(n)
+	s.retrySeconds.Add(seconds)
+}
+
+// AddNetRetry records n retransmitted messages, charging their total
+// virtual-time cost.
+func (s *Stats) AddNetRetry(n int64, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.netRetries.Add(n)
+	s.retrySeconds.Add(seconds)
+}
+
+// AddCheckpoint records one checkpoint write of n bytes taking the
+// given virtual seconds.
+func (s *Stats) AddCheckpoint(n int64, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.checkpoints.Add(1)
+	s.checkpointBytes.Add(n)
+	s.checkpointSeconds.Add(seconds)
+}
+
+// AddReplan records one recovery re-plan (failure detection, surviving
+// communicator agreement and state redistribution) of the given
+// virtual duration.
+func (s *Stats) AddReplan(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.replans.Add(1)
+	s.replanSeconds.Add(seconds)
+}
+
+// AddRedo records virtual seconds spent re-executing iterations that
+// were lost to a crash and restarted from the last checkpoint.
+func (s *Stats) AddRedo(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.redoSeconds.Add(seconds)
+}
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	DMABytes     int64
@@ -73,6 +159,16 @@ type Snapshot struct {
 	NetBytes     int64
 	NetMessages  int64
 	Flops        int64
+
+	DMARetries        int64
+	NetRetries        int64
+	Checkpoints       int64
+	CheckpointBytes   int64
+	Replans           int64
+	RetrySeconds      float64
+	CheckpointSeconds float64
+	ReplanSeconds     float64
+	RedoSeconds       float64
 }
 
 // Snapshot returns the current counter values.
@@ -88,6 +184,16 @@ func (s *Stats) Snapshot() Snapshot {
 		NetBytes:     s.netBytes.Load(),
 		NetMessages:  s.netMessages.Load(),
 		Flops:        s.flops.Load(),
+
+		DMARetries:        s.dmaRetries.Load(),
+		NetRetries:        s.netRetries.Load(),
+		Checkpoints:       s.checkpoints.Load(),
+		CheckpointBytes:   s.checkpointBytes.Load(),
+		Replans:           s.replans.Load(),
+		RetrySeconds:      s.retrySeconds.Load(),
+		CheckpointSeconds: s.checkpointSeconds.Load(),
+		ReplanSeconds:     s.replanSeconds.Load(),
+		RedoSeconds:       s.redoSeconds.Load(),
 	}
 }
 
@@ -103,6 +209,15 @@ func (s *Stats) Reset() {
 	s.netBytes.Store(0)
 	s.netMessages.Store(0)
 	s.flops.Store(0)
+	s.dmaRetries.Store(0)
+	s.netRetries.Store(0)
+	s.checkpoints.Store(0)
+	s.checkpointBytes.Store(0)
+	s.replans.Store(0)
+	s.retrySeconds.bits.Store(0)
+	s.checkpointSeconds.bits.Store(0)
+	s.replanSeconds.bits.Store(0)
+	s.redoSeconds.bits.Store(0)
 }
 
 // Sub returns the delta a-b of two snapshots, used to isolate the
@@ -116,6 +231,16 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		NetBytes:     a.NetBytes - b.NetBytes,
 		NetMessages:  a.NetMessages - b.NetMessages,
 		Flops:        a.Flops - b.Flops,
+
+		DMARetries:        a.DMARetries - b.DMARetries,
+		NetRetries:        a.NetRetries - b.NetRetries,
+		Checkpoints:       a.Checkpoints - b.Checkpoints,
+		CheckpointBytes:   a.CheckpointBytes - b.CheckpointBytes,
+		Replans:           a.Replans - b.Replans,
+		RetrySeconds:      a.RetrySeconds - b.RetrySeconds,
+		CheckpointSeconds: a.CheckpointSeconds - b.CheckpointSeconds,
+		ReplanSeconds:     a.ReplanSeconds - b.ReplanSeconds,
+		RedoSeconds:       a.RedoSeconds - b.RedoSeconds,
 	}
 }
 
@@ -129,7 +254,35 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		NetBytes:     a.NetBytes + b.NetBytes,
 		NetMessages:  a.NetMessages + b.NetMessages,
 		Flops:        a.Flops + b.Flops,
+
+		DMARetries:        a.DMARetries + b.DMARetries,
+		NetRetries:        a.NetRetries + b.NetRetries,
+		Checkpoints:       a.Checkpoints + b.Checkpoints,
+		CheckpointBytes:   a.CheckpointBytes + b.CheckpointBytes,
+		Replans:           a.Replans + b.Replans,
+		RetrySeconds:      a.RetrySeconds + b.RetrySeconds,
+		CheckpointSeconds: a.CheckpointSeconds + b.CheckpointSeconds,
+		ReplanSeconds:     a.ReplanSeconds + b.ReplanSeconds,
+		RedoSeconds:       a.RedoSeconds + b.RedoSeconds,
 	}
+}
+
+// HasRecovery reports whether any fault-recovery activity was
+// recorded.
+func (a Snapshot) HasRecovery() bool {
+	if a.DMARetries != 0 || a.NetRetries != 0 || a.Checkpoints != 0 || a.Replans != 0 {
+		return true
+	}
+	//swlint:ignore float-eq the seconds counters start at exactly zero and only ever accumulate; any recorded cost compares unequal
+	return a.RetrySeconds != 0 || a.CheckpointSeconds != 0 || a.ReplanSeconds != 0 || a.RedoSeconds != 0
+}
+
+// RecoveryString renders the recovery counters on one line.
+func (a Snapshot) RecoveryString() string {
+	return fmt.Sprintf("ckpt=%d(%s,%.6fs) replan=%d(%.6fs) redo=%.6fs retries=dma:%d,net:%d(%.6fs)",
+		a.Checkpoints, FormatBytes(a.CheckpointBytes), a.CheckpointSeconds,
+		a.Replans, a.ReplanSeconds, a.RedoSeconds,
+		a.DMARetries, a.NetRetries, a.RetrySeconds)
 }
 
 // String renders a compact single-line breakdown.

@@ -144,3 +144,58 @@ func TestSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryCounters(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.AddDMARetry(2, 0.25)
+			s.AddNetRetry(1, 0.125)
+			s.AddCheckpoint(1024, 0.5)
+			s.AddReplan(1.0)
+			s.AddRedo(2.0)
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.DMARetries != 16 || snap.NetRetries != 8 {
+		t.Errorf("retries = dma:%d net:%d, want 16/8", snap.DMARetries, snap.NetRetries)
+	}
+	if snap.Checkpoints != 8 || snap.CheckpointBytes != 8*1024 || snap.Replans != 8 {
+		t.Errorf("ckpt=%d bytes=%d replans=%d", snap.Checkpoints, snap.CheckpointBytes, snap.Replans)
+	}
+	// Sums of exactly representable binary fractions stay exact, so the
+	// accumulated virtual seconds compare exactly.
+	want := Snapshot{
+		DMARetries: 16, NetRetries: 8, Checkpoints: 8, CheckpointBytes: 8192, Replans: 8,
+		RetrySeconds: 8*0.25 + 8*0.125, CheckpointSeconds: 4, ReplanSeconds: 8, RedoSeconds: 16,
+	}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+	if !snap.HasRecovery() {
+		t.Error("HasRecovery() = false with recovery counters set")
+	}
+	if (Snapshot{NetBytes: 5}).HasRecovery() {
+		t.Error("HasRecovery() = true on a fault-free snapshot")
+	}
+	if got := snap.Sub(snap); got.HasRecovery() {
+		t.Errorf("self-difference keeps recovery counters: %+v", got)
+	}
+	if got := snap.Add(snap); got.DMARetries != 32 || got.RedoSeconds != 32 {
+		t.Errorf("Add did not fold recovery counters: %+v", got)
+	}
+	str := snap.RecoveryString()
+	for _, tok := range []string{"ckpt=8", "replan=8", "dma:16", "net:8"} {
+		if !strings.Contains(str, tok) {
+			t.Errorf("RecoveryString() = %q, missing %q", str, tok)
+		}
+	}
+	s.Reset()
+	if s.Snapshot().HasRecovery() {
+		t.Error("Reset left recovery counters set")
+	}
+}
