@@ -26,9 +26,11 @@ race:
 
 # faultcheck smoke-runs the seeded fault matrix through the CLI: crash
 # with checkpoint restart, crash with dropped shards, pure transient
-# noise, a degraded fabric with a straggler, and a whole-node loss.
-# Every scenario is deterministic (docs/FAULT_TOLERANCE.md) and must
-# finish with exit code 0.
+# noise, a degraded fabric with a straggler, a whole-node loss, a
+# Level-3 crash (checkpoint gather + re-striped restore), and faults
+# under automatic level selection. Every scenario is deterministic
+# (docs/FAULT_TOLERANCE.md) and must finish with exit code 0. Later
+# flags win, so the Level-3/auto runs just override FAULTBASE's level.
 FAULTBASE = $(GO) run ./cmd/swkmeans -dataset gauss -n 800 -d 8 -components 4 -level 1 -k 4 -nodes 2 -iters 10
 
 faultcheck:
@@ -37,3 +39,6 @@ faultcheck:
 	$(FAULTBASE) -faults "seed=11; dma=0.05; msg=0.05; retries=64"
 	$(FAULTBASE) -faults "link=*@0:1x4; slow=2x1.5"
 	$(FAULTBASE) -faults "crashnode=1@3e-5; hb=1e-4" -ckpt 3
+	$(FAULTBASE) -level 3 -mprime 4 -faults "seed=5; crash=5@2e-5; msg=0.01; retries=32" -ckpt 2
+	$(FAULTBASE) -level 3 -mprime 2 -faults "crash=3@2e-5" -ckpt 2 -droplost
+	$(FAULTBASE) -level 0 -faults "seed=9; crash=2@2e-5; dma=0.02; retries=32" -ckpt 2

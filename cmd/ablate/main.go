@@ -8,7 +8,9 @@
 //   - assignment batch sizing in the Level-3 assign step;
 //   - binomial vs ring allreduce for the Update volume;
 //   - fat-tree uplink contention under concurrent per-slice reduces;
-//   - checkpoint interval under a mid-run CG crash (recovery overhead).
+//   - checkpoint interval under a mid-run CG crash (recovery overhead);
+//   - Level-3 crash recovery: the same coordinated-checkpoint cycle
+//     when the model itself is partitioned across a CG group.
 package main
 
 import (
@@ -38,7 +40,7 @@ func main() {
 
 func run(w io.Writer) error {
 	for _, section := range []func() (*report.Table, error){
-		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention, checkpointSweep,
+		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention, checkpointSweep, level3Recovery,
 	} {
 		t, err := section()
 		if err != nil {
@@ -237,6 +239,43 @@ func checkpointSweep() (*report.Table, error) {
 		t.AddStringRow(fmt.Sprintf("%d", checkpointIntervals[i]),
 			fmt.Sprintf("%d", rec.Checkpoints),
 			fmt.Sprintf("%.6f", rec.CheckpointSeconds),
+			fmt.Sprintf("%.6f", rec.RedoSeconds),
+			fmt.Sprintf("%.6f", completionSeconds(res)))
+	}
+	return t, nil
+}
+
+// level3Recovery runs the coordinated-checkpoint cycle at Level 3,
+// where a checkpoint must first gather the centroid stripes of one CG
+// group and a restore re-stripes the model over the re-planned groups.
+// One mid-run CG crash, swept over the checkpoint interval.
+func level3Recovery() (*report.Table, error) {
+	g, err := dataset.NewGaussianMixture("l3ckpt", 800, 16, 8, 0.08, 2.5, 11)
+	if err != nil {
+		return nil, err
+	}
+	base := core.Config{Spec: machine.MustSpec(2), Level: core.Level3, K: 16, MPrimeGroup: 4, MaxIters: 20, Seed: 3}
+	clean, err := core.Run(base, g)
+	if err != nil {
+		return nil, err
+	}
+	crashAt := 0.5 * completionSeconds(clean)
+	t := report.NewTable("Level-3 crash recovery: checkpoint interval under a mid-run CG crash (n=800, d=16, k=16, m'=4)",
+		"interval", "ckpts", "ckpt (s)", "restore (s)", "replan (s)", "redo (s)", "completion (s)")
+	for _, interval := range []int{1, 2, 4, 8, 20} {
+		cfg := base
+		cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 5, At: crashAt}}}
+		cfg.CheckpointInterval = interval
+		res, err := core.Run(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		rec := res.Recovery
+		t.AddStringRow(fmt.Sprintf("%d", interval),
+			fmt.Sprintf("%d", rec.Checkpoints),
+			fmt.Sprintf("%.6f", rec.CheckpointSeconds),
+			fmt.Sprintf("%.6f", rec.RestoreSeconds),
+			fmt.Sprintf("%.6f", rec.ReplanSeconds),
 			fmt.Sprintf("%.6f", rec.RedoSeconds),
 			fmt.Sprintf("%.6f", completionSeconds(res)))
 	}

@@ -19,6 +19,7 @@ func TestRunAllSections(t *testing.T) {
 		"Allreduce algorithm",
 		"Fat-tree uplink contention",
 		"Checkpoint interval under a mid-run CG crash",
+		"Level-3 crash recovery",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)

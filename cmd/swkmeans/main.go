@@ -283,8 +283,8 @@ func printRecovery(w io.Writer, res *core.Result) error {
 	if useful+overhead > 0 {
 		pct = 100 * overhead / (useful + overhead)
 	}
-	fmt.Fprintf(w, "overhead: ckpt=%.6fs replan=%.6fs redo=%.6fs retries=%.6fs total=%.6fs (%.1f%% of completion)\n",
-		rec.CheckpointSeconds, rec.ReplanSeconds, rec.RedoSeconds, rec.RetrySeconds, overhead, pct)
+	fmt.Fprintf(w, "overhead: ckpt=%.6fs restore=%.6fs replan=%.6fs redo=%.6fs retries=%.6fs total=%.6fs (%.1f%% of completion)\n",
+		rec.CheckpointSeconds, rec.RestoreSeconds, rec.ReplanSeconds, rec.RedoSeconds, rec.RetrySeconds, overhead, pct)
 	return nil
 }
 
@@ -534,11 +534,4 @@ func saveModel(path string, cents []float64, k, d int) error {
 		return err
 	}
 	return f.Close()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/costmodel"
@@ -14,24 +15,20 @@ const LevelAuto Level = 0
 
 // ChooseLevel plans all three levels for the problem shape and
 // returns the feasible one with the lowest estimated per-iteration
-// cost, together with its plan. It returns an error when no level can
-// host the shape on the machine.
+// cost, together with its plan. When no level can host the shape on
+// the machine the error joins every level's reason.
 func ChooseLevel(cfg Config, n, d int) (Plan, error) {
 	cfg = cfg.withDefaults()
 	var best Plan
 	bestCost := 0.0
 	found := false
-	var lastErr error
+	var reasons []error
 	for _, lv := range []Level{Level1, Level2, Level3} {
-		if lv == Level3 && !cfg.Faults.Empty() {
-			// The resilient driver covers Levels 1 and 2 only.
-			continue
-		}
 		c := cfg
 		c.Level = lv
 		plan, err := PlanFor(c, n, d)
 		if err != nil {
-			lastErr = err
+			reasons = append(reasons, fmt.Errorf("%v: %w", lv, err))
 			continue
 		}
 		cost := estimateIterCost(c, plan, n, d)
@@ -40,7 +37,8 @@ func ChooseLevel(cfg Config, n, d int) (Plan, error) {
 		}
 	}
 	if !found {
-		return Plan{}, fmt.Errorf("core: no partition level feasible for n=%d k=%d d=%d: %w", n, cfg.K, d, lastErr)
+		return Plan{}, fmt.Errorf("core: no partition level feasible for n=%d k=%d d=%d: %w",
+			n, cfg.K, d, errors.Join(reasons...))
 	}
 	return best, nil
 }

@@ -21,6 +21,33 @@
 // virtual clocks measuring the paper's metric — one-iteration
 // completion time — and trace counters recording DMA, register-
 // communication and network traffic.
+//
+// # The IterEngine contract
+//
+// All three levels run through one epoch loop (runEngine): the levels
+// are one algorithm — Lloyd's iteration — under three dataflow plans,
+// and the per-level code is confined to the iterEngine interface.
+// An engine contributes
+//
+//   - replan: shape one epoch over the surviving ranks — the epoch
+//     plan, the participating ranks and the model deposit slots. At
+//     epoch 0 (and on every fault-free run) the epoch plan equals the
+//     full-strength plan.
+//   - setup: build a rank's per-epoch state from the full centroid
+//     matrix (initial or restored), carving out stripes and shards.
+//   - step: one iteration — assign, partial sums, reduce, centroid
+//     update — reporting the epoch-global movement, the charged local
+//     cost, and the objective.
+//   - gather: assemble the full model on rank 0 for a coordinated
+//     checkpoint (free when rank 0 holds it; a stripe gather at
+//     Level 3).
+//   - deposit: publish the rank's share of the final model.
+//
+// The loop owns everything else: iteration count, tolerance and
+// convergence, objective tracking, per-iteration time and phase
+// recording, and — when a fault plan is present — the checkpoint /
+// restore / re-plan cycle. Resilience therefore composes with every
+// level instead of being a separate driver.
 package core
 
 import (
@@ -110,11 +137,11 @@ type Config struct {
 	// in Levels 2 and 3 (default 256).
 	BatchSamples int
 	// Faults, when non-empty, injects the deterministic fault plan into
-	// the simulated machine and routes the run through the resilient
-	// driver: per-interval checkpointing, restart from the last
-	// checkpoint after a rank failure, and re-planning over the
-	// surviving core groups. Levels 1 and 2 only (see
-	// docs/FAULT_TOLERANCE.md for the Level-3 deviation).
+	// the simulated machine and runs the epochs resiliently:
+	// per-interval checkpointing, restart from the last checkpoint
+	// after a rank failure, and re-planning over the surviving core
+	// groups — at every level, including Level 3's CG groups (see
+	// docs/FAULT_TOLERANCE.md).
 	Faults fault.Plan
 	// CheckpointInterval checkpoints the model every this many
 	// iterations under Faults (default 5).
@@ -189,9 +216,6 @@ func (cfg Config) validate() error {
 	if !cfg.Faults.Empty() {
 		if _, err := fault.NewInjector(cfg.Faults); err != nil {
 			return fmt.Errorf("core: %w", err)
-		}
-		if cfg.Level == Level3 {
-			return fmt.Errorf("core: fault injection is implemented for Levels 1 and 2 (see docs/FAULT_TOLERANCE.md)")
 		}
 		if cfg.MiniBatch > 0 {
 			return fmt.Errorf("core: mini-batch mode and fault injection are mutually exclusive")
@@ -376,20 +400,6 @@ func applyMiniBatchUpdate(cents, sums []float64, counts, cumCounts []int64, d in
 		}
 	}
 	return movement
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ceilDiv returns ceil(a/b) for positive b.

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/costmodel"
 	"repro/internal/ldm"
+	"repro/internal/mpi"
 	"repro/internal/trace"
 )
 
@@ -13,4 +14,23 @@ func chargeCost(c costmodel.Cost, clock interface{ Advance(float64) }, stats *tr
 	stats.AddDMA(c.DMAElems * ldm.ElemBytes)
 	stats.AddReg(c.RegElems * ldm.ElemBytes)
 	stats.AddFlops(c.Flops)
+}
+
+// chargeTransientDMA folds one iteration's chunked DMA stream through
+// the fault injector and charges the retries to the rank's clock and
+// the trace counters. at is the rank's clock at iteration start, so
+// identical fault plans reproduce identical retry timelines. Fault-free
+// runs have no injector and take the zero path.
+func chargeTransientDMA(work *mpi.Comm, env *epochEnv, ic costmodel.Cost, at float64) {
+	if env.inj == nil {
+		return
+	}
+	transfers := int((ic.DMAElems + costmodel.DMAChunkElems - 1) / costmodel.DMAChunkElems)
+	retries, _ := env.inj.DMARetryCount(work.CG(), at, costmodel.DMAChunkElems, transfers)
+	if retries <= 0 {
+		return
+	}
+	cost := float64(retries) * (env.chunkSeconds + env.inj.Backoff(1))
+	env.cfg.Stats.AddDMARetry(int64(retries), cost)
+	work.Clock().Advance(cost)
 }

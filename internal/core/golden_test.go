@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// The golden-parity suite pins the unified IterEngine loop to runs
+// recorded with the pre-refactor per-level drivers: for each case the
+// final centroids and per-iteration virtual times must match the
+// recorded run BIT FOR BIT, and the assignments and iteration counts
+// exactly. Regenerate with UPDATE_GOLDEN=1 go test ./internal/core
+// -run Golden (only justified when the simulated machine model itself
+// changes deliberately).
+
+// goldenRecord serializes one recorded run. Floats are stored as hex
+// IEEE-754 bit patterns so the comparison is exact, immune to decimal
+// round-tripping.
+type goldenRecord struct {
+	Iters      int      `json:"iters"`
+	Converged  bool     `json:"converged"`
+	Assign     []int    `json:"assign"`
+	Centroids  []string `json:"centroid_bits"`
+	IterTimes  []string `json:"iter_time_bits"`
+	Objectives []string `json:"objective_bits,omitempty"`
+}
+
+func floatsToBits(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	return out
+}
+
+func bitsToFloats(t *testing.T, ss []string) []float64 {
+	t.Helper()
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		var bits uint64
+		if _, err := fmt.Sscanf(s, "%x", &bits); err != nil {
+			t.Fatalf("golden bits %q: %v", s, err)
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	return out
+}
+
+// goldenCases are the seed-dataset configurations the parity suite
+// locks down: one per level plus the mode variants (mini-batch,
+// stride, non-default batch) whose dataflow differs.
+func goldenCases(t *testing.T) []struct {
+	name string
+	cfg  Config
+	src  dataset.Source
+} {
+	t.Helper()
+	g1, err := dataset.NewGaussianMixture("golden1", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dataset.NewGaussianMixture("golden2", 300, 10, 5, 0.15, 2.0, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := dataset.NewGaussianMixture("golden3", 240, 16, 4, 0.15, 2.0, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		cfg  Config
+		src  dataset.Source
+	}{
+		{
+			name: "level1",
+			cfg:  Config{Spec: machine.MustSpec(2), Level: Level1, K: 4, MaxIters: 12, Seed: 5, TrackObjective: true},
+			src:  g1,
+		},
+		{
+			name: "level1_minibatch",
+			cfg:  Config{Spec: machine.MustSpec(2), Level: Level1, K: 4, MaxIters: 8, Seed: 5, MiniBatch: 32, Tolerance: 1e-6},
+			src:  g1,
+		},
+		{
+			name: "level1_stride",
+			cfg:  Config{Spec: machine.MustSpec(1), Level: Level1, K: 4, MaxIters: 6, Seed: 5, SampleStride: 4},
+			src:  g1,
+		},
+		{
+			name: "level2",
+			cfg:  Config{Spec: machine.MustSpec(2), Level: Level2, K: 10, MGroup: 4, MaxIters: 12, Seed: 3, TrackObjective: true},
+			src:  g2,
+		},
+		{
+			name: "level3",
+			cfg:  Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 12, Seed: 11, TrackObjective: true},
+			src:  g3,
+		},
+		{
+			name: "level3_batch7",
+			cfg:  Config{Spec: machine.MustSpec(1), Level: Level3, K: 6, MPrimeGroup: 2, MaxIters: 10, Seed: 4, BatchSamples: 7},
+			src:  g3,
+		},
+	}
+}
+
+func TestEngineGoldenParity(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Stats = trace.NewStats()
+			res, err := Run(cfg, tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if update {
+				rec := goldenRecord{
+					Iters:      res.Iters,
+					Converged:  res.Converged,
+					Assign:     res.Assign,
+					Centroids:  floatsToBits(res.Centroids),
+					IterTimes:  floatsToBits(res.IterTimes),
+					Objectives: floatsToBits(res.Objectives),
+				}
+				data, err := json.MarshalIndent(rec, "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("recorded %s", path)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+			}
+			var rec goldenRecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if res.Iters != rec.Iters || res.Converged != rec.Converged {
+				t.Errorf("iters/converged = %d/%v, golden %d/%v", res.Iters, res.Converged, rec.Iters, rec.Converged)
+			}
+			if len(res.Assign) != len(rec.Assign) {
+				t.Fatalf("assignment length %d, golden %d", len(res.Assign), len(rec.Assign))
+			}
+			for i := range rec.Assign {
+				if res.Assign[i] != rec.Assign[i] {
+					t.Fatalf("assign[%d] = %d, golden %d", i, res.Assign[i], rec.Assign[i])
+				}
+			}
+			compareBits(t, "centroid", res.Centroids, bitsToFloats(t, rec.Centroids))
+			compareBits(t, "iter time", res.IterTimes, bitsToFloats(t, rec.IterTimes))
+			if len(rec.Objectives) > 0 {
+				compareBits(t, "objective", res.Objectives, bitsToFloats(t, rec.Objectives))
+			}
+		})
+	}
+}
+
+// compareBits asserts exact IEEE-754 equality element by element.
+func compareBits(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s count %d, golden %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %.17g (bits %016x), golden %.17g (bits %016x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}

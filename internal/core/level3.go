@@ -5,11 +5,15 @@ import (
 	"math"
 
 	"repro/internal/costmodel"
-	"repro/internal/dataset"
+	"repro/internal/ldm"
 	"repro/internal/mpi"
 )
 
-// runLevel3 executes Algorithm 3: the nkd-partition. Ranks are core
+// ckptGatherTag is the user-space message tag of the Level-3
+// checkpoint slice gather (group 0 ships its stripes to rank 0).
+const ckptGatherTag = 0x51c3
+
+// level3Engine executes Algorithm 3: the nkd-partition. Ranks are core
 // groups; mPrime consecutive ranks form a CG group that partitions the
 // centroid set (consecutive ranks share a node/supernode, so a CG
 // group stays physically compact, as Section III.C recommends); the
@@ -20,190 +24,300 @@ import (
 // own centroid slice and the group's min-reduce (a(i) = min a(i)')
 // runs over MPI. The Update step combines slice sums across CG groups
 // in per-slice communicators.
-func runLevel3(cfg Config, src dataset.Source, plan Plan) (*Result, error) {
-	n, d, k := src.N(), src.D(), cfg.K
-	mPrime, groups := plan.MPrimeGroup, plan.Groups
-	world, err := mpi.NewWorld(cfg.Spec, cfg.Stats, plan.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	init, err := initialCentroids(cfg, src)
-	if err != nil {
-		return nil, err
-	}
+type level3Engine struct{}
 
-	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = -1
-	}
-	res := &Result{K: k, D: d, Assign: assign, Plan: plan}
-	var iterTimes []float64
-	var phases []Phase
-	var objectives []float64
-	finalCents := make([]float64, k*d)
-	slices := make([][]float64, mPrime) // filled by group-0 ranks
-
-	runErr := world.Run(func(c *mpi.Comm) error {
-		group := c.Rank() / mPrime
-		pos := c.Rank() % mPrime
-		groupComm, err := c.Split(group, pos)
-		if err != nil {
-			return err
+// replan shapes an epoch of CG groups over the survivors. Under
+// DropLostShards the original group structure is kept: a CG group that
+// lost any member drops out whole (its centroid stripes live on every
+// other group, but its static sample shard has no owner), and the
+// intact groups keep their original stripes and shards. Otherwise the
+// CG-group size shrinks (halving, like the planner built it) until the
+// survivors host at least one group, every member's centroid stripe
+// widens accordingly, and the full dataset is redistributed across the
+// remaining groups; survivors beyond groups·m' sit the epoch out.
+func (level3Engine) replan(env *epochEnv) error {
+	plan := env.plan
+	if env.droplost {
+		aliveSet := make(map[int]bool, len(env.alive))
+		for _, g := range env.alive {
+			aliveSet[g] = true
 		}
-		posComm, err := c.Split(pos+groups, group) // offset colors past group colors
-		if err != nil {
-			return err
-		}
-		if groupComm.Size() != mPrime || posComm.Size() != groups {
-			return fmt.Errorf("level3: split sizes %d/%d, want %d/%d",
-				groupComm.Size(), posComm.Size(), mPrime, groups)
-		}
-
-		kLo, kHi := shareRange(k, mPrime, pos)
-		kLocal := kHi - kLo
-		cents := append([]float64(nil), init[kLo*d:kHi*d]...)
-		sums := make([]float64, kLocal*d)
-		counts := make([]int64, kLocal)
-
-		lo, hi := shareRange(n, groups, group)
-		nGroup := hi - lo
-		buf := make([]float64, d)
-		batch := cfg.BatchSamples
-		idxs := make([]int, 0, batch)
-		vals := make([]float64, batch)
-		ids := make([]int64, batch)
-		prevT := c.Clock().Now()
-
-		iters, converged := 0, false
-		for iter := 0; iter < cfg.MaxIters; iter++ {
-			for i := range sums {
-				sums[i] = 0
-			}
-			for j := range counts {
-				counts[j] = 0
-			}
-
-			// Assign step in batches: local partial argmin against the
-			// slice, then the group's min-reduce over MPI.
-			localObj := 0.0
-			localCnt := int64(0)
-			for start := lo; start < hi; start += batch * cfg.SampleStride {
-				idxs = idxs[:0]
-				for i := start; i < hi && len(idxs) < batch; i += cfg.SampleStride {
-					idxs = append(idxs, i)
-				}
-				b := len(idxs)
-				for bi, i := range idxs {
-					if kLocal == 0 {
-						vals[bi] = math.Inf(1)
-						ids[bi] = int64(k)
-						continue
-					}
-					src.Sample(i, buf)
-					j, dist := argminDistance(buf, cents, d)
-					vals[bi] = dist
-					ids[bi] = int64(kLo + j)
-				}
-				if err := groupComm.AllReduceMinPairs(vals[:b], ids[:b]); err != nil {
-					return err
-				}
-				for bi, i := range idxs {
-					w := int(ids[bi])
-					if w < 0 || w >= k {
-						return fmt.Errorf("level3: sample %d reduced to invalid centroid %d", i, w)
-					}
-					if pos == 0 {
-						assign[i] = w
-						localObj += vals[bi]
-						localCnt++
-					}
-					if w >= kLo && w < kHi {
-						src.Sample(i, buf)
-						row := sums[(w-kLo)*d : (w-kLo+1)*d]
-						for u := 0; u < d; u++ {
-							row[u] += buf[u]
-						}
-						counts[w-kLo]++
-					}
+		active := make(map[int]bool)
+		var owners []int
+		for og := 0; og < plan.Groups; og++ {
+			intact := true
+			for p := 0; p < plan.MPrimeGroup; p++ {
+				if !aliveSet[og*plan.MPrimeGroup+p] {
+					intact = false
+					break
 				}
 			}
-			ic := costmodel.Level3(cfg.Spec, nGroup, k, d, mPrime, batch, plan.Tiled)
-			chargeCost(ic, c.Clock(), cfg.Stats)
-
-			// Update step: combine the slice sums across CG groups
-			// (ring algorithm for large slice volumes).
-			if err := posComm.AllReduceSumAuto(sums, counts); err != nil {
-				return err
+			if !intact {
+				continue
 			}
-			if cfg.TrackObjective {
-				obj := []float64{localObj}
-				cnt := []int64{localCnt}
-				if err := c.AllReduceSum(obj, cnt); err != nil {
-					return err
-				}
-				if c.Rank() == 0 {
-					objectives = append(objectives, obj[0]/float64(cnt[0]))
-				}
-			}
-			movement := applyUpdate(cents, sums, counts, d)
-			iters++
-
-			// Convergence is a global property of all slices: sum the
-			// per-slice movements across the world. Every group carries
-			// an identical copy of each slice's movement, so the world
-			// sum over-counts by exactly the group count.
-			mv := []float64{movement}
-			if err := c.AllReduceSum(mv, nil); err != nil {
-				return err
-			}
-			total := mv[0] / float64(groups)
-
-			if err := c.Barrier(); err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				it := c.Clock().Now() - prevT
-				iterTimes = append(iterTimes, it)
-				other := it - ic.Seconds()
-				if other < 0 {
-					other = 0
-				}
-				phases = append(phases, Phase{
-					Read:    ic.ReadSeconds,
-					Compute: ic.ComputeSeconds,
-					Reg:     ic.RegSeconds,
-					Other:   other,
-				})
-			}
-			prevT = c.Clock().Now()
-
-			if total <= cfg.Tolerance*cfg.Tolerance {
-				converged = true
-				break
+			owners = append(owners, og)
+			for p := 0; p < plan.MPrimeGroup; p++ {
+				active[og*plan.MPrimeGroup+p] = true
 			}
 		}
-
-		// Group 0 deposits its slices for assembly; ranks of group 0
-		// are world ranks 0..mPrime-1, writing disjoint entries.
-		if group == 0 {
-			slices[pos] = cents
+		if len(owners) == 0 {
+			return fmt.Errorf("no intact CG group survives")
 		}
-		if c.Rank() == 0 {
-			res.Iters = iters
-			res.Converged = converged
-		}
+		e := plan
+		e.Groups = len(owners)
+		e.Ranks = len(owners) * plan.MPrimeGroup
+		env.eplan = e
+		env.active = active
+		env.groupOwners = owners
+		env.slices = make([][]float64, e.MPrimeGroup)
 		return nil
-	})
-	if runErr != nil {
-		return nil, fmt.Errorf("core: level3 engine: %w", runErr)
 	}
-	for pos := 0; pos < mPrime; pos++ {
-		kLo, _ := shareRange(k, mPrime, pos)
-		copy(finalCents[kLo*d:], slices[pos])
+
+	size := len(env.alive)
+	mPrime := plan.MPrimeGroup
+	for mPrime > size {
+		mPrime /= 2
 	}
-	res.Centroids = finalCents
-	res.IterTimes = iterTimes
-	res.Phases = phases
-	res.Objectives = objectives
-	return res, nil
+	tiled := plan.Tiled
+	if mPrime != plan.MPrimeGroup {
+		// Halving m' doubles each member's centroid stripe: re-check
+		// the LDM constraints, falling back to DRAM tiling like the
+		// planner does.
+		tiled = false
+		if ldm.CheckLevel3(env.cfg.Spec, plan.K, plan.D, mPrime) != nil {
+			if err := ldm.CheckLevel3Tiled(env.cfg.Spec, plan.K, plan.D, mPrime); err != nil {
+				return err
+			}
+			tiled = true
+		}
+	}
+	groups := size / mPrime
+	used := groups * mPrime
+	active := make(map[int]bool, used)
+	for i, g := range env.alive {
+		if i < used {
+			active[g] = true
+		}
+	}
+	e := plan
+	e.MPrimeGroup = mPrime
+	e.Groups = groups
+	e.Ranks = used
+	e.KLocalMax = ceilDiv(plan.K, mPrime)
+	e.Tiled = tiled
+	env.eplan = e
+	env.active = active
+	env.slices = make([][]float64, mPrime)
+	return nil
+}
+
+func (level3Engine) setup(work *mpi.Comm, env *epochEnv, cents []float64) (engineState, error) {
+	e := env.eplan
+	n, d, k := env.src.N(), env.src.D(), env.cfg.K
+	mPrime, groups := e.MPrimeGroup, e.Groups
+	group := work.Rank() / mPrime
+	pos := work.Rank() % mPrime
+	groupComm, err := work.Split(group, pos)
+	if err != nil {
+		return nil, err
+	}
+	posComm, err := work.Split(pos+groups, group) // offset colors past group colors
+	if err != nil {
+		return nil, err
+	}
+	if groupComm.Size() != mPrime || posComm.Size() != groups {
+		return nil, fmt.Errorf("level3: split sizes %d/%d, want %d/%d",
+			groupComm.Size(), posComm.Size(), mPrime, groups)
+	}
+
+	// Each rank carves its centroid stripe out of the full model (the
+	// initial matrix or a restored checkpoint), so an epoch with a
+	// smaller m' naturally re-stripes with wider slices.
+	kLo, kHi := shareRange(k, mPrime, pos)
+	slice := append([]float64(nil), cents[kLo*d:kHi*d]...)
+
+	// The dataflow shard: the epoch group's share of the full dataset,
+	// or the original group's static shard under DropLostShards.
+	var lo, hi int
+	if env.droplost {
+		lo, hi = shareRange(n, env.plan.Groups, env.groupOwners[group])
+	} else {
+		lo, hi = shareRange(n, groups, group)
+	}
+
+	batch := env.cfg.BatchSamples
+	return &level3State{
+		env: env, work: work, groupComm: groupComm, posComm: posComm,
+		group: group, pos: pos, kLo: kLo, kHi: kHi,
+		cents:  slice,
+		sums:   make([]float64, (kHi-kLo)*d),
+		counts: make([]int64, kHi-kLo),
+		lo:     lo, hi: hi,
+		buf:  make([]float64, d),
+		idxs: make([]int, 0, batch),
+		vals: make([]float64, batch),
+		ids:  make([]int64, batch),
+		d:    d,
+	}, nil
+}
+
+// level3State is one rank's epoch state at Level 3.
+type level3State struct {
+	env        *epochEnv
+	work       *mpi.Comm
+	groupComm  *mpi.Comm // the rank's CG group (partitions the centroids)
+	posComm    *mpi.Comm // same stripe position across CG groups
+	group, pos int
+	kLo, kHi   int
+	cents      []float64
+	sums       []float64
+	counts     []int64
+	lo, hi     int
+	buf        []float64
+	idxs       []int
+	vals       []float64
+	ids        []int64
+	d          int
+}
+
+func (st *level3State) step(iter int) (stepOut, error) {
+	env, cfg, d := st.env, &st.env.cfg, st.d
+	k := cfg.K
+	e := env.eplan
+	at := st.work.Clock().Now()
+	for i := range st.sums {
+		st.sums[i] = 0
+	}
+	for j := range st.counts {
+		st.counts[j] = 0
+	}
+
+	// Assign step in batches: local partial argmin against the slice,
+	// then the group's min-reduce over MPI.
+	kLocal := st.kHi - st.kLo
+	localObj := 0.0
+	localCnt := int64(0)
+	batch := cfg.BatchSamples
+	for start := st.lo; start < st.hi; start += batch * cfg.SampleStride {
+		st.idxs = st.idxs[:0]
+		for i := start; i < st.hi && len(st.idxs) < batch; i += cfg.SampleStride {
+			st.idxs = append(st.idxs, i)
+		}
+		b := len(st.idxs)
+		for bi, i := range st.idxs {
+			if kLocal == 0 {
+				st.vals[bi] = math.Inf(1)
+				st.ids[bi] = int64(k)
+				continue
+			}
+			env.src.Sample(i, st.buf)
+			j, dist := argminDistance(st.buf, st.cents, d)
+			st.vals[bi] = dist
+			st.ids[bi] = int64(st.kLo + j)
+		}
+		if err := st.groupComm.AllReduceMinPairs(st.vals[:b], st.ids[:b]); err != nil {
+			return stepOut{}, err
+		}
+		for bi, i := range st.idxs {
+			w := int(st.ids[bi])
+			if w < 0 || w >= k {
+				return stepOut{}, fmt.Errorf("level3: sample %d reduced to invalid centroid %d", i, w)
+			}
+			if st.pos == 0 {
+				env.assign[i] = w
+				localObj += st.vals[bi]
+				localCnt++
+			}
+			if w >= st.kLo && w < st.kHi {
+				env.src.Sample(i, st.buf)
+				row := st.sums[(w-st.kLo)*d : (w-st.kLo+1)*d]
+				for u := 0; u < d; u++ {
+					row[u] += st.buf[u]
+				}
+				st.counts[w-st.kLo]++
+			}
+		}
+	}
+	ic := costmodel.Level3(cfg.Spec, st.hi-st.lo, k, d, e.MPrimeGroup, batch, e.Tiled)
+	chargeCost(ic, st.work.Clock(), cfg.Stats)
+	chargeTransientDMA(st.work, env, ic, at)
+
+	// Update step: combine the slice sums across CG groups (ring
+	// algorithm for large slice volumes).
+	if err := st.posComm.AllReduceSumAuto(st.sums, st.counts); err != nil {
+		return stepOut{}, err
+	}
+	out := stepOut{cost: ic}
+	if cfg.TrackObjective {
+		obj := []float64{localObj}
+		cnt := []int64{localCnt}
+		if err := st.work.AllReduceSum(obj, cnt); err != nil {
+			return stepOut{}, err
+		}
+		if st.work.Rank() == 0 {
+			out.objective = obj[0] / float64(cnt[0])
+		}
+	}
+	movement := applyUpdate(st.cents, st.sums, st.counts, d)
+
+	// Convergence is a global property of all slices: sum the
+	// per-slice movements across the epoch communicator. Every group
+	// carries an identical copy of each slice's movement, so the sum
+	// over-counts by exactly the group count.
+	mv := []float64{movement}
+	if err := st.work.AllReduceSum(mv, nil); err != nil {
+		return stepOut{}, err
+	}
+	out.movement = mv[0] / float64(e.Groups)
+	return out, nil
+}
+
+// gather assembles the full model on rank 0 for a coordinated
+// checkpoint: group 0's members each hold one centroid stripe (every
+// other group holds identical copies), so they ship their stripes to
+// rank 0 and a barrier re-synchronizes the epoch before the write.
+func (st *level3State) gather() ([]float64, error) {
+	mPrime := st.env.eplan.MPrimeGroup
+	d, k := st.d, st.env.cfg.K
+	if mPrime == 1 {
+		// A group of one holds the whole model already.
+		if st.work.Rank() == 0 {
+			return st.cents, nil
+		}
+		return nil, nil
+	}
+	var full []float64
+	switch {
+	case st.work.Rank() == 0:
+		full = make([]float64, k*d)
+		copy(full, st.cents) // rank 0 is position 0: stripe starts at 0
+		for p := 1; p < mPrime; p++ {
+			kLo, kHi := shareRange(k, mPrime, p)
+			data, _, err := st.work.Recv(p, ckptGatherTag)
+			if err != nil {
+				return nil, err
+			}
+			if len(data) != (kHi-kLo)*d {
+				return nil, fmt.Errorf("level3: checkpoint stripe %d has %d values, want %d",
+					p, len(data), (kHi-kLo)*d)
+			}
+			copy(full[kLo*d:kHi*d], data)
+		}
+	case st.group == 0:
+		if err := st.work.Send(0, ckptGatherTag, st.cents, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.work.Barrier(); err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// deposit publishes group 0's centroid stripes for assembly after the
+// epoch; its ranks are work ranks 0..m'-1, writing disjoint entries.
+func (st *level3State) deposit() {
+	if st.group == 0 {
+		st.env.slices[st.pos] = st.cents
+	}
 }

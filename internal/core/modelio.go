@@ -15,6 +15,11 @@ const (
 	modelVersion = 1
 )
 
+// ModelBytes returns the serialized size of a k-by-d model in the
+// binary format: the four-word header plus the row-major float64
+// payload. The resilient engine prices checkpoint I/O with it.
+func ModelBytes(k, d int) int64 { return int64(16 + k*d*8) }
+
 // SaveCentroids writes a k-by-d centroid matrix in the binary model
 // format.
 func SaveCentroids(w io.Writer, cents []float64, k, d int) error {

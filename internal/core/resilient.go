@@ -1,18 +1,6 @@
 package core
 
-import (
-	"bytes"
-	"errors"
-	"fmt"
-	"sync"
-
-	"repro/internal/costmodel"
-	"repro/internal/dataset"
-	"repro/internal/fault"
-	"repro/internal/machine"
-	"repro/internal/mpi"
-	"repro/internal/netmodel"
-)
+import "sync"
 
 // Recovery reports the fault-recovery work of one resilient run. All
 // the seconds are virtual: recovery cost is charged to the simulated
@@ -29,11 +17,13 @@ type Recovery struct {
 	DroppedSamples int
 	// Checkpoints counts the completed model checkpoints.
 	Checkpoints int
-	// CheckpointSeconds, ReplanSeconds, RedoSeconds and RetrySeconds
-	// split the recovery overhead: writing checkpoints, rebuilding
-	// communicators and restoring state, re-executing work lost since
-	// the last checkpoint, and transient-fault retries.
+	// CheckpointSeconds, RestoreSeconds, ReplanSeconds, RedoSeconds and
+	// RetrySeconds split the recovery overhead: writing checkpoints,
+	// reading them back and broadcasting the restored model, rebuilding
+	// communicators, re-executing work lost since the last checkpoint,
+	// and transient-fault retries.
 	CheckpointSeconds float64
+	RestoreSeconds    float64
 	ReplanSeconds     float64
 	RedoSeconds       float64
 	RetrySeconds      float64
@@ -42,7 +32,7 @@ type Recovery struct {
 // OverheadSeconds returns the total virtual time attributed to
 // recovery rather than useful work.
 func (r *Recovery) OverheadSeconds() float64 {
-	return r.CheckpointSeconds + r.ReplanSeconds + r.RedoSeconds + r.RetrySeconds
+	return r.CheckpointSeconds + r.RestoreSeconds + r.ReplanSeconds + r.RedoSeconds + r.RetrySeconds
 }
 
 // ckptStore is the in-memory stand-in for the parallel filesystem the
@@ -68,289 +58,4 @@ func (s *ckptStore) load() (data []byte, iter int, at float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.data, s.iter, s.at
-}
-
-// runResilient executes Levels 1 and 2 under the configured fault
-// plan. The run proceeds in epochs: each epoch executes Lloyd
-// iterations over the currently live ranks, checkpointing the model
-// every CheckpointInterval iterations. When a rank fails mid-epoch,
-// every survivor unwinds with the same typed failure, the epoch
-// aborts, and the next epoch re-plans over the survivors (a real
-// communicator Split), restores the last checkpoint (rank 0 reads it
-// back and broadcasts) and resumes. Every recovery step is charged to
-// the virtual clocks, and its cost lands in the trace recovery
-// counters and the Result's Recovery report.
-//
-// Functional guarantee: without DropLostShards every sample is
-// processed by exactly one rank each iteration regardless of how many
-// failures occurred, so assignments equal sequential Lloyd exactly and
-// centroids match within the reduction tolerance (survivor counts
-// change the AllReduce association order). With DropLostShards dead
-// shards leave the computation and quality degrades gracefully.
-func runResilient(cfg Config, src dataset.Source, plan Plan) (*Result, error) {
-	inj, err := fault.NewInjector(cfg.Faults)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	world, err := mpi.NewWorld(cfg.Spec, cfg.Stats, plan.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	world.SetFaults(inj)
-	net, err := netmodel.New(cfg.Spec)
-	if err != nil {
-		return nil, err
-	}
-	init, err := initialCentroids(cfg, src)
-	if err != nil {
-		return nil, err
-	}
-
-	n, d, k := src.N(), src.D(), cfg.K
-	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = -1
-	}
-	res := &Result{K: k, D: d, Assign: assign, Plan: plan}
-	before := cfg.Stats.Snapshot()
-
-	// A coordinated checkpoint ships the model header plus the k·d
-	// payload past the supernode switch to stable storage; reading it
-	// back on restart costs the same.
-	ckptBytes := int64(16 + k*d*8)
-	ckptCost := net.Latency(machine.CrossSupernode) +
-		float64(ckptBytes)/net.Bandwidth(machine.CrossSupernode)
-	// Coarse DMA retry penalty: the cost model streams DMA in chunks,
-	// so one retry re-transfers a chunk and waits out the first backoff.
-	chunkSeconds := cfg.Spec.BW.DMALatency +
-		float64(costmodel.DMAChunkElems*8)/cfg.Spec.BW.DMA
-
-	store := &ckptStore{}
-	rec := &Recovery{}
-	// Indexed by logical iteration so redone iterations overwrite their
-	// aborted first attempt; truncated to the executed count at the end.
-	iterTimes := make([]float64, cfg.MaxIters)
-	phases := make([]Phase, cfg.MaxIters)
-	objectives := make([]float64, cfg.MaxIters)
-	var finalCents []float64
-	itersDone, converged := 0, false
-
-	for epoch := 0; ; epoch++ {
-		if len(world.Alive()) == 0 {
-			return nil, fmt.Errorf("core: %v resilient engine: no surviving ranks: %w",
-				plan.Level, mpi.ErrRankFailed)
-		}
-		failedBefore := len(world.Failed())
-		epochStart := world.MaxTime()
-		epochErr := world.RunLive(func(c *mpi.Comm) error {
-			comm := c
-			if epoch > 0 {
-				// Re-plan: the survivors split into the shrunken working
-				// communicator — a real collective whose cost is the
-				// re-planning overhead.
-				t0 := c.Clock().Now()
-				sub, err := c.Split(0, c.Rank())
-				if err != nil {
-					return err
-				}
-				comm = sub
-				if comm.Rank() == 0 {
-					cfg.Stats.AddReplan(c.Clock().Now() - t0)
-				}
-			}
-
-			// Restore: rank 0 reads the last checkpoint back from stable
-			// storage and broadcasts it; before the first checkpoint every
-			// rank derives the initial centroids locally, like the
-			// fault-free engines.
-			cents := append([]float64(nil), init...)
-			startIter := 0
-			if data, ckIter, _ := store.load(); data != nil {
-				if comm.Rank() == 0 {
-					loaded, lk, ld, err := LoadCentroids(bytes.NewReader(data))
-					if err != nil {
-						return fmt.Errorf("core: restoring checkpoint: %w", err)
-					}
-					if lk != k || ld != d {
-						return fmt.Errorf("core: checkpoint shape %dx%d does not match run %dx%d", lk, ld, k, d)
-					}
-					copy(cents, loaded)
-					comm.Clock().Advance(ckptCost)
-				}
-				if err := comm.Bcast(0, cents, nil); err != nil {
-					return err
-				}
-				startIter = ckIter
-			}
-
-			// Shard assignment for this epoch: redistribute the full
-			// dataset over the survivors, or keep the original static
-			// shards and let dead ones drop out.
-			var lo, hi int
-			if cfg.DropLostShards {
-				lo, hi = shareRange(n, plan.Ranks, c.Global())
-			} else {
-				lo, hi = shareRange(n, comm.Size(), comm.Rank())
-			}
-
-			sums := make([]float64, k*d)
-			counts := make([]int64, k)
-			buf := make([]float64, d)
-			prevT := comm.Clock().Now()
-			for iter := startIter; iter < cfg.MaxIters; iter++ {
-				// Fail-stop promptly when this rank's crash time passed
-				// during local compute, not just at the next message.
-				if err := comm.CheckFailure(); err != nil {
-					return err
-				}
-				for i := range sums {
-					sums[i] = 0
-				}
-				for j := range counts {
-					counts[j] = 0
-				}
-				localObj := 0.0
-				chargedN := hi - lo
-				for i := lo; i < hi; i += cfg.SampleStride {
-					src.Sample(i, buf)
-					j, dist := argminDistance(buf, cents, d)
-					assign[i] = j
-					localObj += dist
-					row := sums[j*d : (j+1)*d]
-					for u := 0; u < d; u++ {
-						row[u] += buf[u]
-					}
-					counts[j]++
-				}
-				var ic costmodel.Cost
-				if plan.Level == Level1 {
-					ic = costmodel.Level1(cfg.Spec, chargedN, k, d)
-				} else {
-					ic = costmodel.Level2(cfg.Spec, chargedN, k, d, plan.MGroup, cfg.BatchSamples)
-				}
-				chargeCost(ic, comm.Clock(), cfg.Stats)
-				// Transient DMA faults: fold the iteration's chunked DMA
-				// stream through the injector and charge the retries.
-				transfers := int((ic.DMAElems + costmodel.DMAChunkElems - 1) / costmodel.DMAChunkElems)
-				if retries, _ := inj.DMARetryCount(c.CG(), prevT, costmodel.DMAChunkElems, transfers); retries > 0 {
-					cost := float64(retries) * (chunkSeconds + inj.Backoff(1))
-					cfg.Stats.AddDMARetry(int64(retries), cost)
-					comm.Clock().Advance(cost)
-				}
-
-				if err := comm.AllReduceSumAuto(sums, counts); err != nil {
-					return err
-				}
-				if cfg.TrackObjective {
-					obj := []float64{localObj}
-					if err := comm.AllReduceSum(obj, nil); err != nil {
-						return err
-					}
-					if comm.Rank() == 0 {
-						total := int64(0)
-						for _, cnt := range counts {
-							total += cnt
-						}
-						objectives[iter] = obj[0] / float64(total)
-					}
-				}
-				movement := applyUpdate(cents, sums, counts, d)
-
-				if err := comm.Barrier(); err != nil {
-					return err
-				}
-				if comm.Rank() == 0 {
-					it := comm.Clock().Now() - prevT
-					iterTimes[iter] = it
-					other := it - ic.Seconds()
-					if other < 0 {
-						other = 0
-					}
-					phases[iter] = Phase{
-						Read:    ic.ReadSeconds,
-						Compute: ic.ComputeSeconds,
-						Reg:     ic.RegSeconds,
-						Other:   other,
-					}
-					itersDone = iter + 1
-					converged = movement <= cfg.Tolerance*cfg.Tolerance
-					finalCents = cents
-				}
-				prevT = comm.Clock().Now()
-
-				done := movement <= cfg.Tolerance*cfg.Tolerance
-				if !done && (iter+1)%cfg.CheckpointInterval == 0 && iter+1 < cfg.MaxIters {
-					// Coordinated checkpoint right after the barrier: the
-					// clocks are synchronized, every rank waits out the
-					// write, rank 0 serializes the model.
-					comm.Clock().Advance(ckptCost)
-					if comm.Rank() == 0 {
-						var b bytes.Buffer
-						if err := SaveCentroids(&b, cents, k, d); err != nil {
-							return err
-						}
-						store.save(b.Bytes(), iter+1, comm.Clock().Now())
-						cfg.Stats.AddCheckpoint(ckptBytes, ckptCost)
-					}
-					prevT = comm.Clock().Now()
-				}
-				if done {
-					break
-				}
-			}
-			return nil
-		})
-		if epochErr == nil {
-			break
-		}
-		if !errors.Is(epochErr, mpi.ErrRankFailed) && !errors.Is(epochErr, mpi.ErrCrashed) {
-			return nil, fmt.Errorf("core: %v resilient engine: %w", plan.Level, epochErr)
-		}
-		if len(world.Failed()) == failedBefore {
-			// The abort did not remove a rank: a retry would replay the
-			// identical epoch forever.
-			return nil, fmt.Errorf("core: %v resilient engine: non-crash abort: %w", plan.Level, epochErr)
-		}
-		// Everything since the last checkpoint (or the epoch start, if
-		// later) is lost work the next epoch re-executes.
-		_, _, ckptAt := store.load()
-		if wasted := world.MaxTime() - maxFloat(ckptAt, epochStart); wasted > 0 {
-			cfg.Stats.AddRedo(wasted)
-		}
-		rec.Replans++
-	}
-
-	rec.LostRanks = world.Failed()
-	if cfg.DropLostShards {
-		for _, g := range rec.LostRanks {
-			lo, hi := shareRange(n, plan.Ranks, g)
-			for i := lo; i < hi; i++ {
-				assign[i] = -1
-			}
-			rec.DroppedSamples += hi - lo
-		}
-	}
-	delta := cfg.Stats.Snapshot().Sub(before)
-	rec.Checkpoints = int(delta.Checkpoints)
-	rec.CheckpointSeconds = delta.CheckpointSeconds
-	rec.ReplanSeconds = delta.ReplanSeconds
-	rec.RedoSeconds = delta.RedoSeconds
-	rec.RetrySeconds = delta.RetrySeconds
-	res.Recovery = rec
-	res.Centroids = finalCents
-	res.Iters = itersDone
-	res.Converged = converged
-	res.IterTimes = iterTimes[:itersDone]
-	res.Phases = phases[:itersDone]
-	if cfg.TrackObjective {
-		res.Objectives = objectives[:itersDone]
-	}
-	return res, nil
-}
-
-func maxFloat(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

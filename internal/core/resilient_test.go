@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -245,17 +246,18 @@ func TestResilientAllRanksDead(t *testing.T) {
 }
 
 // TestResilientConfigValidation: unsupported fault combinations are
-// rejected up front.
+// rejected up front, and Level 3 with faults — the former exclusion —
+// is accepted.
 func TestResilientConfigValidation(t *testing.T) {
 	g, err := dataset.NewGaussianMixture("g", 100, 4, 2, 0.1, 2.0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	faults := fault.Plan{Crashes: []fault.Crash{{CG: 0, At: 1}}}
-	if _, err := Run(Config{
+	if _, err := PlanFor(Config{
 		Spec: machine.MustSpec(1), Level: Level3, K: 2, MaxIters: 5, Faults: faults,
-	}, g); err == nil {
-		t.Error("Level 3 with faults accepted")
+	}, g.N(), g.D()); err != nil {
+		t.Errorf("Level 3 with faults rejected: %v", err)
 	}
 	if _, err := Run(Config{
 		Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 5, Faults: faults, MiniBatch: 16,
@@ -270,21 +272,175 @@ func TestResilientConfigValidation(t *testing.T) {
 	}
 }
 
-// TestResilientLevelAutoAvoidsLevel3: automatic level selection under
-// faults only considers the levels the resilient driver implements.
-func TestResilientLevelAutoAvoidsLevel3(t *testing.T) {
-	g, err := dataset.NewGaussianMixture("g", 200, 6, 3, 0.1, 2.0, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Run(Config{
-		Spec: machine.MustSpec(1), Level: LevelAuto, K: 3, MaxIters: 5, Seed: 1,
+// TestResilientLevelAutoConsidersLevel3: automatic level selection no
+// longer special-cases Level 3 under a fault plan — on the headline
+// shape, where only the nkd-partition is feasible, auto selection with
+// faults picks it instead of failing.
+func TestResilientLevelAutoConsidersLevel3(t *testing.T) {
+	cfg := Config{
+		Spec: machine.MustSpec(4096), K: 2000,
 		Faults: fault.Plan{MsgFailRate: 0.01, MaxRetries: 16},
-	}, g)
+	}
+	plan, err := ChooseLevel(cfg, 1265723, 196608)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Plan.Level == Level3 {
-		t.Errorf("auto level chose %v under faults", res.Plan.Level)
+	if plan.Level != Level3 {
+		t.Errorf("auto level under faults chose %v, want Level3", plan.Level)
+	}
+}
+
+// TestChooseLevelReportsAllReasons: when every level is infeasible the
+// error names each level's reason instead of only the last one.
+func TestChooseLevelReportsAllReasons(t *testing.T) {
+	cfg := Config{Spec: machine.MustSpec(1), K: 100}
+	_, err := ChooseLevel(cfg, 10, 4) // k > n: every level fails
+	if err == nil {
+		t.Fatal("k>n accepted")
+	}
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		if !strings.Contains(err.Error(), lv.String()) {
+			t.Errorf("error %q does not name %v", err, lv)
+		}
+	}
+}
+
+// TestResilientLevel3MatchesLloydUnderCrash: a CG crash mid-run at
+// Level 3 triggers checkpoint restart and re-planning — the survivors
+// re-form CG groups and every stripe is re-carved from the restored
+// model — and because the full dataset is redistributed the final
+// assignments still equal sequential Lloyd exactly.
+func TestResilientLevel3MatchesLloydUnderCrash(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 240, 16, 4, 0.15, 2.0, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 12, Seed: 11}
+	ref, err := Lloyd(g, cfg.K, cfg.MaxIters, 0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := 0.4 * totalIterSeconds(clean)
+	cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 5, At: crashAt}}}
+	cfg.CheckpointInterval = 2
+	res, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery == nil {
+		t.Fatal("no recovery report")
+	}
+	if res.Recovery.Replans < 1 {
+		t.Errorf("crash at t=%.9g caused no replan", crashAt)
+	}
+	if len(res.Recovery.LostRanks) != 1 || res.Recovery.LostRanks[0] != 5 {
+		t.Errorf("lost ranks = %v, want [5]", res.Recovery.LostRanks)
+	}
+	if res.Recovery.Checkpoints < 1 {
+		t.Errorf("no checkpoints taken")
+	}
+	if res.Recovery.OverheadSeconds() <= 0 {
+		t.Errorf("recovery overhead = %g, want positive", res.Recovery.OverheadSeconds())
+	}
+	for i := range ref.Assign {
+		if res.Assign[i] != ref.Assign[i] {
+			t.Fatalf("assignment %d diverges from Lloyd under Level-3 recovery", i)
+		}
+	}
+	centroidsClose(t, res.Centroids, ref.Centroids)
+}
+
+// TestResilientLevel3DeterministicTimeline: identical Level-3 fault
+// plans reproduce identical recovery timelines byte for byte, exactly
+// like the Level-1 guarantee.
+func TestResilientLevel3DeterministicTimeline(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 240, 16, 4, 0.15, 2.0, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Run(Config{
+			Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 10, Seed: 11,
+			Faults: fault.Plan{
+				Seed:        33,
+				Crashes:     []fault.Crash{{CG: 6, At: 2.5e-5}},
+				MsgFailRate: 0.05,
+				DMAFailRate: 0.02,
+				MaxRetries:  64,
+			},
+			CheckpointInterval: 3,
+			Stats:              trace.NewStats(),
+		}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.IterTimes) != len(b.IterTimes) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(a.IterTimes), len(b.IterTimes))
+	}
+	for i := range a.IterTimes {
+		if math.Float64bits(a.IterTimes[i]) != math.Float64bits(b.IterTimes[i]) {
+			t.Fatalf("iteration %d time diverged: %.17g vs %.17g", i, a.IterTimes[i], b.IterTimes[i])
+		}
+	}
+	for i := range a.Centroids {
+		if math.Float64bits(a.Centroids[i]) != math.Float64bits(b.Centroids[i]) {
+			t.Fatalf("centroid %d diverged across identical runs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Recovery, b.Recovery) {
+		t.Errorf("recovery reports diverged: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+	if a.Recovery.Replans < 1 {
+		t.Errorf("crash caused no replan")
+	}
+}
+
+// TestResilientLevel3DropLostShards: graceful degradation at Level 3
+// drops the whole CG group that lost a member — its static shard ends
+// the run unassigned — while the intact groups keep their original
+// stripes and shards.
+func TestResilientLevel3DropLostShards(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 240, 16, 4, 0.15, 2.0, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: machine.MustSpec(2), Level: Level3, K: 6, MPrimeGroup: 2, MaxIters: 12, Seed: 4}
+	clean, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 3, At: 0.4 * totalIterSeconds(clean)}}}
+	cfg.CheckpointInterval = 2
+	cfg.DropLostShards = true
+	res, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 3 sits in CG group 1 (m'=2): that group's whole shard drops.
+	lostGroup := 3 / res.Plan.MPrimeGroup
+	lo, hi := shareRange(g.N(), res.Plan.Groups, lostGroup)
+	if res.Recovery.DroppedSamples != hi-lo {
+		t.Errorf("dropped samples = %d, want group shard size %d", res.Recovery.DroppedSamples, hi-lo)
+	}
+	for i := 0; i < g.N(); i++ {
+		if i >= lo && i < hi {
+			if res.Assign[i] != -1 {
+				t.Fatalf("dropped sample %d still assigned to %d", i, res.Assign[i])
+			}
+		} else if res.Assign[i] < 0 || res.Assign[i] >= cfg.K {
+			t.Fatalf("surviving sample %d has assignment %d", i, res.Assign[i])
+		}
+	}
+	for _, v := range res.Centroids {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("degraded run produced a non-finite centroid")
+		}
 	}
 }

@@ -35,15 +35,7 @@ func Run(cfg Config, src dataset.Source) (*Result, error) {
 	if cfg.Stats != nil {
 		before = cfg.Stats.Snapshot()
 	}
-	var res *Result
-	switch {
-	case !cfg.Faults.Empty():
-		res, err = runResilient(cfg, src, plan)
-	case plan.Level == Level3:
-		res, err = runLevel3(cfg, src, plan)
-	default:
-		res, err = runReplicated(cfg, src, plan)
-	}
+	res, err := runEngine(cfg, src, plan, engineFor(plan))
 	if err != nil {
 		return nil, err
 	}

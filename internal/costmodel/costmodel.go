@@ -83,13 +83,6 @@ func log2Ceil(n int) int {
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // residentBatch returns how many samples of dims elements fit in the
 // half of the LDM reserved for sample residency while centroid tiles
 // stream through the other half.

@@ -217,11 +217,11 @@ func NewInjector(p Plan) (*Injector, error) {
 	}
 	for _, s := range p.Stragglers {
 		if s.CPE < 0 {
-			inj.slowCG[s.CG] = maxf(inj.slowCG[s.CG], s.Factor)
+			inj.slowCG[s.CG] = max(inj.slowCG[s.CG], s.Factor)
 		} else {
-			inj.slowOf[[2]int{s.CG, s.CPE}] = maxf(inj.slowOf[[2]int{s.CG, s.CPE}], s.Factor)
+			inj.slowOf[[2]int{s.CG, s.CPE}] = max(inj.slowOf[[2]int{s.CG, s.CPE}], s.Factor)
 		}
-		inj.maxSlow = maxf(inj.maxSlow, s.Factor)
+		inj.maxSlow = max(inj.maxSlow, s.Factor)
 	}
 	return inj, nil
 }
@@ -379,11 +379,4 @@ func mix(a, b uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 27
 	return x
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -46,7 +46,7 @@ func (c *Comm) gatherOp(st *opState, root int, data []float64) ([]float64, error
 				return nil, err
 			}
 			if st.fail == nil {
-				if len(meta) != 1 || len(d)%maxInts(n, 1) != 0 && n > 0 {
+				if len(meta) != 1 || len(d)%max(n, 1) != 0 && n > 0 {
 					return nil, fmt.Errorf("mpi: gather payload mismatch on rank %d", c.rank)
 				}
 				subtree = append(subtree, d...)
@@ -73,13 +73,6 @@ func (c *Comm) gatherOp(st *opState, root int, data []float64) ([]float64, error
 		copy(out[abs*n:(abs+1)*n], subtree[relRank*n:(relRank+1)*n])
 	}
 	return out, nil
-}
-
-func maxInts(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Scatter distributes equal slices of root's data to every rank:
@@ -137,10 +130,10 @@ func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
 		}
 		if n < 0 {
 			// Subtree covers min(span, size-rel) relative ranks.
-			cover := minInt(span, c.size-rel)
+			cover := min(span, c.size-rel)
 			n = len(subtree) / cover
 		}
-		childCover := minInt(mask, c.size-rel-mask)
+		childCover := min(mask, c.size-rel-mask)
 		lo := mask * n
 		hi := lo + childCover*n
 		if hi > len(subtree) {

@@ -105,7 +105,7 @@ func (c *Comm) AllReduceSumRing(data []float64, ints []int64) error {
 func segment(n, p, s int) (int, int) {
 	base := n / p
 	extra := n % p
-	lo := s*base + minInt(s, extra)
+	lo := s*base + min(s, extra)
 	hi := lo + base
 	if s < extra {
 		hi++
@@ -114,10 +114,3 @@ func segment(n, p, s int) (int, int) {
 }
 
 func mod(a, p int) int { return ((a % p) + p) % p }
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -250,10 +250,3 @@ func minReduceGroup(c *regcomm.CPE, mgroup, j int, dist float64) (int, float64, 
 	}
 	return j, dist, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

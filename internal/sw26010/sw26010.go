@@ -232,10 +232,3 @@ func share(n, p, r int) (int, int) {
 	}
 	return lo, hi
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -33,6 +33,7 @@ type Stats struct {
 	replans           atomic.Int64
 	retrySeconds      atomicSeconds
 	checkpointSeconds atomicSeconds
+	restoreSeconds    atomicSeconds
 	replanSeconds     atomicSeconds
 	redoSeconds       atomicSeconds
 }
@@ -130,6 +131,15 @@ func (s *Stats) AddCheckpoint(n int64, seconds float64) {
 	s.checkpointSeconds.Add(seconds)
 }
 
+// AddRestore records virtual seconds spent reading a checkpoint back
+// from stable storage and broadcasting the restored model.
+func (s *Stats) AddRestore(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.restoreSeconds.Add(seconds)
+}
+
 // AddReplan records one recovery re-plan (failure detection, surviving
 // communicator agreement and state redistribution) of the given
 // virtual duration.
@@ -167,6 +177,7 @@ type Snapshot struct {
 	Replans           int64
 	RetrySeconds      float64
 	CheckpointSeconds float64
+	RestoreSeconds    float64
 	ReplanSeconds     float64
 	RedoSeconds       float64
 }
@@ -192,6 +203,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Replans:           s.replans.Load(),
 		RetrySeconds:      s.retrySeconds.Load(),
 		CheckpointSeconds: s.checkpointSeconds.Load(),
+		RestoreSeconds:    s.restoreSeconds.Load(),
 		ReplanSeconds:     s.replanSeconds.Load(),
 		RedoSeconds:       s.redoSeconds.Load(),
 	}
@@ -216,6 +228,7 @@ func (s *Stats) Reset() {
 	s.replans.Store(0)
 	s.retrySeconds.bits.Store(0)
 	s.checkpointSeconds.bits.Store(0)
+	s.restoreSeconds.bits.Store(0)
 	s.replanSeconds.bits.Store(0)
 	s.redoSeconds.bits.Store(0)
 }
@@ -239,6 +252,7 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		Replans:           a.Replans - b.Replans,
 		RetrySeconds:      a.RetrySeconds - b.RetrySeconds,
 		CheckpointSeconds: a.CheckpointSeconds - b.CheckpointSeconds,
+		RestoreSeconds:    a.RestoreSeconds - b.RestoreSeconds,
 		ReplanSeconds:     a.ReplanSeconds - b.ReplanSeconds,
 		RedoSeconds:       a.RedoSeconds - b.RedoSeconds,
 	}
@@ -262,6 +276,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		Replans:           a.Replans + b.Replans,
 		RetrySeconds:      a.RetrySeconds + b.RetrySeconds,
 		CheckpointSeconds: a.CheckpointSeconds + b.CheckpointSeconds,
+		RestoreSeconds:    a.RestoreSeconds + b.RestoreSeconds,
 		ReplanSeconds:     a.ReplanSeconds + b.ReplanSeconds,
 		RedoSeconds:       a.RedoSeconds + b.RedoSeconds,
 	}
@@ -274,14 +289,14 @@ func (a Snapshot) HasRecovery() bool {
 		return true
 	}
 	//swlint:ignore float-eq the seconds counters start at exactly zero and only ever accumulate; any recorded cost compares unequal
-	return a.RetrySeconds != 0 || a.CheckpointSeconds != 0 || a.ReplanSeconds != 0 || a.RedoSeconds != 0
+	return a.RetrySeconds != 0 || a.CheckpointSeconds != 0 || a.RestoreSeconds != 0 || a.ReplanSeconds != 0 || a.RedoSeconds != 0
 }
 
 // RecoveryString renders the recovery counters on one line.
 func (a Snapshot) RecoveryString() string {
-	return fmt.Sprintf("ckpt=%d(%s,%.6fs) replan=%d(%.6fs) redo=%.6fs retries=dma:%d,net:%d(%.6fs)",
+	return fmt.Sprintf("ckpt=%d(%s,%.6fs) restore=%.6fs replan=%d(%.6fs) redo=%.6fs retries=dma:%d,net:%d(%.6fs)",
 		a.Checkpoints, FormatBytes(a.CheckpointBytes), a.CheckpointSeconds,
-		a.Replans, a.ReplanSeconds, a.RedoSeconds,
+		a.RestoreSeconds, a.Replans, a.ReplanSeconds, a.RedoSeconds,
 		a.DMARetries, a.NetRetries, a.RetrySeconds)
 }
 

@@ -155,6 +155,7 @@ func TestRecoveryCounters(t *testing.T) {
 			s.AddDMARetry(2, 0.25)
 			s.AddNetRetry(1, 0.125)
 			s.AddCheckpoint(1024, 0.5)
+			s.AddRestore(0.75)
 			s.AddReplan(1.0)
 			s.AddRedo(2.0)
 		}()
@@ -171,7 +172,7 @@ func TestRecoveryCounters(t *testing.T) {
 	// accumulated virtual seconds compare exactly.
 	want := Snapshot{
 		DMARetries: 16, NetRetries: 8, Checkpoints: 8, CheckpointBytes: 8192, Replans: 8,
-		RetrySeconds: 8*0.25 + 8*0.125, CheckpointSeconds: 4, ReplanSeconds: 8, RedoSeconds: 16,
+		RetrySeconds: 8*0.25 + 8*0.125, CheckpointSeconds: 4, RestoreSeconds: 8 * 0.75, ReplanSeconds: 8, RedoSeconds: 16,
 	}
 	if snap != want {
 		t.Errorf("snapshot = %+v, want %+v", snap, want)
@@ -189,7 +190,7 @@ func TestRecoveryCounters(t *testing.T) {
 		t.Errorf("Add did not fold recovery counters: %+v", got)
 	}
 	str := snap.RecoveryString()
-	for _, tok := range []string{"ckpt=8", "replan=8", "dma:16", "net:8"} {
+	for _, tok := range []string{"ckpt=8", "restore=6", "replan=8", "dma:16", "net:8"} {
 		if !strings.Contains(str, tok) {
 			t.Errorf("RecoveryString() = %q, missing %q", str, tok)
 		}
