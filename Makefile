@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race faultcheck
+.PHONY: check build vet lint test race faultcheck obscheck
 
 # check is the full gate: build, vet, swlint, tests under the race
-# detector, and the fault-injection smoke matrix.
-check: build vet lint race faultcheck
+# detector, the fault-injection smoke matrix, and the trace-export
+# determinism check.
+check: build vet lint race faultcheck obscheck
 
 build:
 	$(GO) build ./...
@@ -42,3 +43,23 @@ faultcheck:
 	$(FAULTBASE) -level 3 -mprime 4 -faults "seed=5; crash=5@2e-5; msg=0.01; retries=32" -ckpt 2
 	$(FAULTBASE) -level 3 -mprime 2 -faults "crash=3@2e-5" -ckpt 2 -droplost
 	$(FAULTBASE) -level 0 -faults "seed=9; crash=2@2e-5; dma=0.02; retries=32" -ckpt 2
+
+# obscheck verifies the observability determinism contract end to end:
+# the same seeded scenario run twice exports byte-identical Chrome
+# trace and metrics files (docs/OBSERVABILITY.md), for a coarse Level-3
+# run, a crash-recovery run, and a fine-grained CPE-level kernel.
+OBSBASE = $(GO) run ./cmd/swkmeans -dataset gauss -n 512 -d 8 -components 4 -k 4 -nodes 2 -iters 4
+OBSTMP := $(shell mktemp -d)
+
+obscheck:
+	$(OBSBASE) -level 3 -trace-out $(OBSTMP)/a.json -metrics-out $(OBSTMP)/a.jsonl -timeline
+	$(OBSBASE) -level 3 -trace-out $(OBSTMP)/b.json -metrics-out $(OBSTMP)/b.jsonl -timeline
+	cmp $(OBSTMP)/a.json $(OBSTMP)/b.json
+	cmp $(OBSTMP)/a.jsonl $(OBSTMP)/b.jsonl
+	$(OBSBASE) -level 1 -iters 10 -faults "seed=7; crash=3@2e-5" -ckpt 2 -trace-out $(OBSTMP)/fa.json
+	$(OBSBASE) -level 1 -iters 10 -faults "seed=7; crash=3@2e-5" -ckpt 2 -trace-out $(OBSTMP)/fb.json
+	cmp $(OBSTMP)/fa.json $(OBSTMP)/fb.json
+	$(OBSBASE) -algo fine2 -mgroup 8 -trace-out $(OBSTMP)/c.json
+	$(OBSBASE) -algo fine2 -mgroup 8 -trace-out $(OBSTMP)/d.json
+	cmp $(OBSTMP)/c.json $(OBSTMP)/d.json
+	rm -rf $(OBSTMP)

@@ -10,7 +10,10 @@
 //   - fat-tree uplink contention under concurrent per-slice reduces;
 //   - checkpoint interval under a mid-run CG crash (recovery overhead);
 //   - Level-3 crash recovery: the same coordinated-checkpoint cycle
-//     when the model itself is partitioned across a CG group.
+//     when the model itself is partitioned across a CG group;
+//   - where virtual time goes per level: the span-tracing phase
+//     breakdown (compute / dma / regcomm / mpi) of one workload run at
+//     all three partition levels.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/regcomm"
 	"repro/internal/report"
 )
@@ -40,7 +44,7 @@ func main() {
 
 func run(w io.Writer) error {
 	for _, section := range []func() (*report.Table, error){
-		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention, checkpointSweep, level3Recovery,
+		regVsNet, placement, residentVsTiled, batchSweep, ringVsBinomial, contention, checkpointSweep, level3Recovery, phaseBreakdown,
 	} {
 		t, err := section()
 		if err != nil {
@@ -278,6 +282,45 @@ func level3Recovery() (*report.Table, error) {
 			fmt.Sprintf("%.6f", rec.ReplanSeconds),
 			fmt.Sprintf("%.6f", rec.RedoSeconds),
 			fmt.Sprintf("%.6f", completionSeconds(res)))
+	}
+	return t, nil
+}
+
+// phaseBreakdown runs one workload at each partition level with the
+// span tracer attached and reports where the critical-path rank's
+// virtual time goes: the paper's Section IV decomposition measured
+// from the recorded spans rather than the closed-form cost model.
+func phaseBreakdown() (*report.Table, error) {
+	g, err := dataset.NewGaussianMixture("phases", 1200, 32, 8, 0.08, 2.5, 11)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Per-phase virtual time by partition level (n=1200, d=32, k=32, spans; slowest rank)",
+		"level", "compute (s)", "dma (s)", "regcomm (s)", "mpi (s)", "other (s)", "total (s)")
+	for _, cfg := range []core.Config{
+		{Spec: machine.MustSpec(1), Level: core.Level1, K: 32, MaxIters: 10, Seed: 3},
+		{Spec: machine.MustSpec(1), Level: core.Level2, K: 32, MGroup: 8, MaxIters: 10, Seed: 3},
+		{Spec: machine.MustSpec(1), Level: core.Level3, K: 32, MPrimeGroup: 4, MaxIters: 10, Seed: 3},
+	} {
+		rec := obs.NewRecorder()
+		cfg.Obs = rec
+		if _, err := core.Run(cfg, g); err != nil {
+			return nil, err
+		}
+		var worst obs.UnitTotal
+		for _, ut := range obs.UnitTotals(rec) {
+			if ut.Phases.Total() > worst.Phases.Total() {
+				worst = ut
+			}
+		}
+		p := worst.Phases
+		t.AddStringRow(cfg.Level.String(),
+			fmt.Sprintf("%.6f", p.Compute),
+			fmt.Sprintf("%.6f", p.DMA),
+			fmt.Sprintf("%.6f", p.Reg),
+			fmt.Sprintf("%.6f", p.MPI),
+			fmt.Sprintf("%.6f", p.Other+p.Recovery),
+			fmt.Sprintf("%.6f", p.Total()))
 	}
 	return t, nil
 }

@@ -17,11 +17,15 @@ import (
 	"io"
 	"os"
 
+	"runtime"
+	"runtime/pprof"
+
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/report"
 	"repro/internal/sw26010"
@@ -53,6 +57,11 @@ func main() {
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. \"seed=7; crash=1@2e-5; msg=0.01; link=*@0:1x4\" (see docs/FAULT_TOLERANCE.md)")
 		ckpt       = flag.Int("ckpt", 0, "checkpoint interval in iterations under -faults (0 = default)")
 		dropLost   = flag.Bool("droplost", false, "drop a failed rank's data shard instead of redistributing it")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the simulated run to this file (see docs/OBSERVABILITY.md)")
+		metricsOut = flag.String("metrics-out", "", "write a JSONL span and per-iteration metrics log of the simulated run to this file")
+		timeline   = flag.Bool("timeline", false, "render an ASCII per-rank virtual-time timeline after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile of this process to the given file")
+		memprofile = flag.String("memprofile", "", "write a host heap profile to the given file on exit")
 	)
 	flag.Parse()
 	// Exit code contract: 2 for unusable flags (flag.Parse exits 2 on
@@ -79,11 +88,47 @@ func main() {
 		algo: *algo, savePath: *savePath, loadPath: *loadPath, summary: *summary,
 		preset: *preset, specPath: *specPath,
 		faults: faults, ckpt: *ckpt, dropLost: *dropLost,
+		traceOut: *traceOut, metricsOut: *metricsOut, timeline: *timeline,
 	}
-	if err := run(opts); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swkmeans: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "swkmeans: -cpuprofile:", err)
+			os.Exit(2)
+		}
+	}
+	err := run(opts)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if merr := writeMemProfile(*memprofile); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "swkmeans:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile dumps a heap profile after a final GC so the numbers
+// reflect live allocations, not garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	return f.Close()
 }
 
 type options struct {
@@ -103,6 +148,14 @@ type options struct {
 	faults                  fault.Plan
 	ckpt                    int
 	dropLost                bool
+	traceOut, metricsOut    string
+	timeline                bool
+	rec                     *obs.Recorder
+}
+
+// obsRequested reports whether any observability output was asked for.
+func (o options) obsRequested() bool {
+	return o.traceOut != "" || o.metricsOut != "" || o.timeline
 }
 
 // buildSpec resolves the machine: an explicit JSON spec wins, then a
@@ -182,6 +235,18 @@ func run(o options) error {
 	}
 	fmt.Fprintf(o.out, "dataset : %s  n=%d d=%d\n", o.dsName, src.N(), src.D())
 
+	if o.obsRequested() {
+		simulated := o.loadPath == ""
+		switch o.algo {
+		case "sim", "fine1", "fine2", "fine3":
+		default:
+			simulated = false
+		}
+		if !simulated {
+			return fmt.Errorf("-trace-out/-metrics-out/-timeline trace the simulated machine; they need -algo sim, fine1, fine2 or fine3 and training mode")
+		}
+		o.rec = obs.NewRecorder()
+	}
 	if o.loadPath != "" {
 		return runInference(o, src, labeler)
 	}
@@ -215,6 +280,7 @@ func run(o options) error {
 	cfg.Faults = o.faults
 	cfg.CheckpointInterval = o.ckpt
 	cfg.DropLostShards = o.dropLost
+	cfg.Obs = o.rec
 	fmt.Fprintf(o.out, "machine : %v\n", spec)
 	if !o.faults.Empty() {
 		fmt.Fprintf(o.out, "faults  : %d crashes, dma=%g msg=%g, %d links, %d stragglers (seed=%d)\n",
@@ -258,10 +324,55 @@ func run(o options) error {
 		}
 		fmt.Fprintf(o.out, "model   : saved to %s\n", o.savePath)
 	}
+	if err := exportObs(o); err != nil {
+		return err
+	}
 	if o.summary {
 		return res.WriteSummary(o.out)
 	}
 	return nil
+}
+
+// exportObs renders and writes whatever observability output the run
+// asked for: the ASCII timeline to the report stream, the Chrome
+// trace-event JSON and the JSONL metrics log to their files. All three
+// are deterministic functions of the recorder, so identical seeded
+// runs produce byte-identical files.
+func exportObs(o options) error {
+	if o.rec == nil {
+		return nil
+	}
+	if o.timeline {
+		if err := report.RenderTimeline(o.out, "\nper-rank virtual-time timeline", obs.Lanes(o.rec), 72); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		if err := writeObsFile(o.traceOut, o.rec, obs.WriteTraceEvents); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "trace   : %s (load in Perfetto or chrome://tracing)\n", o.traceOut)
+	}
+	if o.metricsOut != "" {
+		if err := writeObsFile(o.metricsOut, o.rec, obs.WriteMetricsJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "metrics : %s\n", o.metricsOut)
+	}
+	return nil
+}
+
+// writeObsFile streams one recorder export into path.
+func writeObsFile(path string, rec *obs.Recorder, write func(io.Writer, *obs.Recorder) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printRecovery reports the fault-recovery work of a resilient run in
@@ -398,19 +509,19 @@ func runFineGrained(o options, src dataset.Source, labeler func(int) int) error 
 	var res *sw26010.Result
 	switch o.algo {
 	case "fine1":
-		res, err = sw26010.RunLevel1CG(spec, src, init, o.iters, 0)
+		res, err = sw26010.RunLevel1CG(spec, src, init, o.iters, 0, sw26010.WithObserver(o.rec))
 	case "fine2":
 		mg := o.mgroup
 		if mg == 0 {
 			mg = 8
 		}
-		res, err = sw26010.RunLevel2CG(spec, src, init, mg, o.iters, 0)
+		res, err = sw26010.RunLevel2CG(spec, src, init, mg, o.iters, 0, sw26010.WithObserver(o.rec))
 	default:
 		mp := o.mprime
 		if mp == 0 {
 			mp = 1
 		}
-		res, err = sw26010.RunLevel3Group(spec, src, init, mp, 64, o.iters, 0)
+		res, err = sw26010.RunLevel3Group(spec, src, init, mp, 64, o.iters, 0, sw26010.WithObserver(o.rec))
 	}
 	if err != nil {
 		return err
@@ -419,9 +530,11 @@ func runFineGrained(o options, src dataset.Source, labeler func(int) int) error 
 	fmt.Fprintf(o.out, "iters   : %d (converged=%v), %.6f sim s/iter\n",
 		res.Iters, res.Converged, meanOf(res.IterTimes))
 	if labeler != nil {
-		return printQuality(o.out, src, res.Centroids, src.D(), res.Assign, labeler)
+		if err := printQuality(o.out, src, res.Centroids, src.D(), res.Assign, labeler); err != nil {
+			return err
+		}
 	}
-	return nil
+	return exportObs(o)
 }
 
 func meanOf(xs []float64) float64 {

@@ -192,3 +192,87 @@ func TestBuildSpecPrecedence(t *testing.T) {
 		t.Error("missing spec file accepted")
 	}
 }
+
+func TestRunObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	o := base(&b)
+	o.traceOut = filepath.Join(dir, "trace.json")
+	o.metricsOut = filepath.Join(dir, "metrics.jsonl")
+	o.timeline = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"per-rank virtual-time timeline", "trace   :", "metrics :", "C compute"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	trace1, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(trace1), `{"traceEvents":[`) {
+		t.Errorf("trace file does not open a traceEvents array: %.40s", trace1)
+	}
+	metrics1, err := os.ReadFile(o.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics1), `"type":"rank_iter"`) {
+		t.Error("metrics file has no rank_iter lines")
+	}
+
+	// Identical flags and seed reproduce both exports byte for byte.
+	var b2 strings.Builder
+	o2 := base(&b2)
+	o2.traceOut = filepath.Join(dir, "trace2.json")
+	o2.metricsOut = filepath.Join(dir, "metrics2.jsonl")
+	o2.timeline = true
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	trace2, err := os.ReadFile(o2.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(trace1) != string(trace2) {
+		t.Error("identical runs produced different trace exports")
+	}
+	metrics2, err := os.ReadFile(o2.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(metrics1) != string(metrics2) {
+		t.Error("identical runs produced different metrics exports")
+	}
+}
+
+func TestRunObservabilityFineGrained(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.algo = "fine2"
+	o.mgroup = 8
+	o.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cpe/63"`) {
+		t.Error("fine-grained trace missing CPE tracks")
+	}
+}
+
+func TestRunObservabilityRejectsHostAlgos(t *testing.T) {
+	var b strings.Builder
+	o := base(&b)
+	o.algo = "lloyd"
+	o.timeline = true
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "simulated machine") {
+		t.Errorf("host baseline with -timeline: err = %v, want a simulated-machine error", err)
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -153,6 +154,12 @@ type Config struct {
 	DropLostShards bool
 	// Stats receives traffic counters; optional.
 	Stats *trace.Stats
+	// Obs, when non-nil, records the span-level virtual-time trace of
+	// the run: one unit per rank plus an "iterations" marker track,
+	// exportable as a Chrome/Perfetto trace or a metrics table (see
+	// internal/obs and docs/OBSERVABILITY.md). Leave nil for the
+	// allocation-free unobserved path.
+	Obs *obs.Recorder
 }
 
 // withDefaults returns a copy with defaults applied.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -143,6 +144,11 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	world.SetObserver(cfg.Obs)
+	// The marker track: rank 0 stamps iteration, checkpoint and redo
+	// boundaries on it, one shared timeline above the per-rank lanes.
+	// Nil when unobserved; every method no-ops then.
+	itu := cfg.Obs.Unit(obs.IterUnit)
 	var ckptBytes int64
 	var ckptCost, chunkSeconds float64
 	if faulty {
@@ -209,6 +215,8 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 		epochStart := world.MaxTime()
 
 		body := func(c *mpi.Comm) error {
+			u := c.Obs()
+			u.SetIter(-1)
 			work := c
 			if epoch > 0 {
 				// Re-plan: the survivors split into the shrunken working
@@ -217,15 +225,18 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 				// cannot place (Level 3 keeps whole CG groups) sit the
 				// epoch out.
 				t0 := c.Clock().Now()
+				om := u.Begin(t0)
 				color := 1
 				if env.isActive(c.Global()) {
 					color = 0
 				}
 				sub, err := c.Split(color, c.Rank())
+				u.End(om, obs.KindReplan, c.Clock().Now(), 0, 0)
 				if err != nil {
 					return err
 				}
 				if color != 0 {
+					u.Finish(c.Clock().Now())
 					return nil
 				}
 				work = sub
@@ -242,18 +253,23 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 			startIter := 0
 			if data, ckIter, _ := store.load(); data != nil {
 				t0 := work.Clock().Now()
-				if work.Rank() == 0 {
-					loaded, lk, ld, err := LoadCentroids(bytes.NewReader(data))
-					if err != nil {
-						return fmt.Errorf("core: restoring checkpoint: %w", err)
+				om := u.Begin(t0)
+				err := func() error {
+					if work.Rank() == 0 {
+						loaded, lk, ld, err := LoadCentroids(bytes.NewReader(data))
+						if err != nil {
+							return fmt.Errorf("core: restoring checkpoint: %w", err)
+						}
+						if lk != k || ld != d {
+							return fmt.Errorf("core: checkpoint shape %dx%d does not match run %dx%d", lk, ld, k, d)
+						}
+						copy(cents, loaded)
+						work.Clock().Advance(ckptCost)
 					}
-					if lk != k || ld != d {
-						return fmt.Errorf("core: checkpoint shape %dx%d does not match run %dx%d", lk, ld, k, d)
-					}
-					copy(cents, loaded)
-					work.Clock().Advance(ckptCost)
-				}
-				if err := work.Bcast(0, cents, nil); err != nil {
+					return work.Bcast(0, cents, nil)
+				}()
+				u.End(om, obs.KindRestore, work.Clock().Now(), ckptBytes, 0)
+				if err != nil {
 					return err
 				}
 				if work.Rank() == 0 {
@@ -269,6 +285,7 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 			prevT := work.Clock().Now()
 			iters, conv := 0, false
 			for iter := startIter; iter < cfg.MaxIters; iter++ {
+				u.SetIter(iter)
 				// Fail-stop promptly when this rank's crash time passed
 				// during local compute, not just at the next message.
 				if err := work.CheckFailure(); err != nil {
@@ -299,6 +316,8 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 					if cfg.TrackObjective {
 						objectives[iter] = out.objective
 					}
+					itu.SetIter(iter)
+					itu.Record(obs.KindIter, prevT, work.Clock().Now(), 0, 0)
 				}
 				prevT = work.Clock().Now()
 
@@ -312,18 +331,29 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 					// engine assembles the full model on rank 0, every
 					// rank waits out the write, rank 0 serializes.
 					t0 := work.Clock().Now()
-					full, err := st.gather()
+					om := u.Begin(t0)
+					err := func() error {
+						full, err := st.gather()
+						if err != nil {
+							return err
+						}
+						work.Clock().Advance(ckptCost)
+						if work.Rank() == 0 {
+							var b bytes.Buffer
+							if err := SaveCentroids(&b, full, k, d); err != nil {
+								return err
+							}
+							store.save(b.Bytes(), iter+1, work.Clock().Now())
+							cfg.Stats.AddCheckpoint(ckptBytes, work.Clock().Now()-t0)
+						}
+						return nil
+					}()
+					u.End(om, obs.KindCheckpoint, work.Clock().Now(), ckptBytes, 0)
 					if err != nil {
 						return err
 					}
-					work.Clock().Advance(ckptCost)
 					if work.Rank() == 0 {
-						var b bytes.Buffer
-						if err := SaveCentroids(&b, full, k, d); err != nil {
-							return err
-						}
-						store.save(b.Bytes(), iter+1, work.Clock().Now())
-						cfg.Stats.AddCheckpoint(ckptBytes, work.Clock().Now()-t0)
+						itu.Record(obs.KindCheckpoint, t0, work.Clock().Now(), ckptBytes, 0)
 					}
 					prevT = work.Clock().Now()
 				}
@@ -332,6 +362,8 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 				}
 			}
 			st.deposit()
+			u.SetIter(-1)
+			u.Finish(work.Clock().Now())
 			if work.Rank() == 0 {
 				itersDone, converged = iters, conv
 			}
@@ -363,6 +395,10 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 		_, _, ckptAt := store.load()
 		if wasted := world.MaxTime() - max(ckptAt, epochStart); wasted > 0 {
 			cfg.Stats.AddRedo(wasted)
+			// Stamp the lost interval on the marker track: the work the
+			// next epoch re-executes.
+			itu.SetIter(-1)
+			itu.Record(obs.KindRedo, world.MaxTime()-wasted, world.MaxTime(), 0, 0)
 		}
 		rec.Replans++
 	}

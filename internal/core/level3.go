@@ -239,7 +239,7 @@ func (st *level3State) step(iter int) (stepOut, error) {
 		}
 	}
 	ic := costmodel.Level3(cfg.Spec, st.hi-st.lo, k, d, e.MPrimeGroup, batch, e.Tiled)
-	chargeCost(ic, st.work.Clock(), cfg.Stats)
+	chargeCost(ic, st.work.Clock(), cfg.Stats, st.work.Obs())
 	chargeTransientDMA(st.work, env, ic, at)
 
 	// Update step: combine the slice sums across CG groups (ring

@@ -75,6 +75,34 @@ type Summary struct {
 	RegBytes    int64     `json:"reg_bytes"`
 	NetBytes    int64     `json:"net_bytes"`
 	Flops       int64     `json:"flops"`
+	// Phases is the whole-run sum of the per-iteration cost-category
+	// breakdown, present whenever the run recorded phases.
+	Phases *SummaryPhases `json:"phase_seconds,omitempty"`
+	// Recovery mirrors Result.Recovery, present only for resilient runs.
+	Recovery *SummaryRecovery `json:"recovery,omitempty"`
+}
+
+// SummaryPhases aggregates Result.Phases into whole-run seconds per
+// cost category.
+type SummaryPhases struct {
+	ReadSec    float64 `json:"read_seconds"`
+	ComputeSec float64 `json:"compute_seconds"`
+	RegSec     float64 `json:"reg_seconds"`
+	OtherSec   float64 `json:"other_seconds"`
+}
+
+// SummaryRecovery is the JSON shape of the fault-recovery report.
+type SummaryRecovery struct {
+	Replans        int     `json:"replans"`
+	LostRanks      []int   `json:"lost_ranks"`
+	DroppedSamples int     `json:"dropped_samples"`
+	Checkpoints    int     `json:"checkpoints"`
+	CheckpointSec  float64 `json:"checkpoint_seconds"`
+	RestoreSec     float64 `json:"restore_seconds"`
+	ReplanSec      float64 `json:"replan_seconds"`
+	RedoSec        float64 `json:"redo_seconds"`
+	RetrySec       float64 `json:"retry_seconds"`
+	OverheadSec    float64 `json:"overhead_seconds"`
 }
 
 // WriteSummary emits the result digest as indented JSON.
@@ -93,6 +121,30 @@ func (r *Result) WriteSummary(w io.Writer) error {
 		RegBytes:    r.Traffic.RegBytes,
 		NetBytes:    r.Traffic.NetBytes,
 		Flops:       r.Traffic.Flops,
+	}
+	if len(r.Phases) > 0 {
+		p := &SummaryPhases{}
+		for _, ph := range r.Phases {
+			p.ReadSec += ph.Read
+			p.ComputeSec += ph.Compute
+			p.RegSec += ph.Reg
+			p.OtherSec += ph.Other
+		}
+		s.Phases = p
+	}
+	if rec := r.Recovery; rec != nil {
+		s.Recovery = &SummaryRecovery{
+			Replans:        rec.Replans,
+			LostRanks:      rec.LostRanks,
+			DroppedSamples: rec.DroppedSamples,
+			Checkpoints:    rec.Checkpoints,
+			CheckpointSec:  rec.CheckpointSeconds,
+			RestoreSec:     rec.RestoreSeconds,
+			ReplanSec:      rec.ReplanSeconds,
+			RedoSec:        rec.RedoSeconds,
+			RetrySec:       rec.RetrySeconds,
+			OverheadSec:    rec.OverheadSeconds(),
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

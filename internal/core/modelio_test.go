@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -83,6 +84,95 @@ func TestWriteSummary(t *testing.T) {
 	}
 	if s.DMABytes == 0 || s.Flops == 0 {
 		t.Errorf("summary traffic: %+v", s)
+	}
+}
+
+// TestWriteSummarySchema asserts the exact JSON key set of the digest,
+// including the per-phase seconds breakdown and — for resilient runs —
+// the recovery counters, so downstream plotting scripts can rely on
+// the field names.
+func TestWriteSummarySchema(t *testing.T) {
+	g := mixture(t, 100, 4, 2)
+	base := Config{Spec: machine.MustSpec(1), Level: Level1, K: 2, MaxIters: 4, Seed: 1, Stats: trace.NewStats()}
+
+	decode := func(cfg Config) map[string]json.RawMessage {
+		t.Helper()
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteSummary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatalf("summary is not valid JSON: %v", err)
+		}
+		return m
+	}
+	keysOf := func(m map[string]json.RawMessage) map[string]bool {
+		out := make(map[string]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+
+	faultFree := decode(base)
+	baseKeys := []string{
+		"level", "plan", "k", "d", "n", "iters", "converged",
+		"mean_iter_seconds", "iter_seconds",
+		"dma_bytes", "reg_bytes", "net_bytes", "flops", "phase_seconds",
+	}
+	got := keysOf(faultFree)
+	for _, k := range baseKeys {
+		if !got[k] {
+			t.Errorf("fault-free summary missing key %q", k)
+		}
+		delete(got, k)
+	}
+	for k := range got {
+		t.Errorf("fault-free summary has unexpected key %q", k)
+	}
+	var phases map[string]float64
+	if err := json.Unmarshal(faultFree["phase_seconds"], &phases); err != nil {
+		t.Fatalf("phase_seconds: %v", err)
+	}
+	for _, k := range []string{"read_seconds", "compute_seconds", "reg_seconds", "other_seconds"} {
+		if _, ok := phases[k]; !ok {
+			t.Errorf("phase_seconds missing %q (got %v)", k, phases)
+		}
+	}
+	total := 0.0
+	for _, v := range phases {
+		total += v
+	}
+	if total <= 0 {
+		t.Errorf("phase seconds sum to %g, want positive", total)
+	}
+
+	resilient := base
+	resilient.Stats = trace.NewStats()
+	resilient.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: 1}}}
+	resilient.CheckpointInterval = 2
+	faulty := decode(resilient)
+	raw, ok := faulty["recovery"]
+	if !ok {
+		t.Fatal("resilient summary missing recovery key")
+	}
+	var recKeys map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &recKeys); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	for _, k := range []string{
+		"replans", "lost_ranks", "dropped_samples", "checkpoints",
+		"checkpoint_seconds", "restore_seconds", "replan_seconds",
+		"redo_seconds", "retry_seconds", "overhead_seconds",
+	} {
+		if _, ok := recKeys[k]; !ok {
+			t.Errorf("recovery missing key %q", k)
+		}
 	}
 }
 

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// checkTiling asserts the unit's spans partition [0, EndTime] with no
+// gaps or overlaps and returns the summed span durations.
+func checkTiling(t *testing.T, u *obs.Unit) float64 {
+	t.Helper()
+	cursor, sum := 0.0, 0.0
+	for _, s := range u.Spans() {
+		//swlint:ignore float-eq the tiling invariant carries exact timestamps; drift is a bug
+		if s.Start != cursor {
+			t.Fatalf("unit %s: span %s starts at %.17g, cursor at %.17g", u.Name(), s.Kind, s.Start, cursor)
+		}
+		if s.End < s.Start {
+			t.Fatalf("unit %s: span %s runs backwards", u.Name(), s.Kind)
+		}
+		cursor = s.End
+		sum += s.Duration()
+	}
+	return sum
+}
+
+// TestObserverSpanSumsMatchClock: the acceptance criterion of the
+// tracing layer. For a fault-free run at every level, each rank's span
+// durations sum to that rank's final virtual-clock time within 1e-9 —
+// no virtual time is unattributed or double-counted. (Ranks exit the
+// final barrier at slightly different virtual times — the collective's
+// cost depends on the rank's position in the topology — so end times
+// are per-rank, not one global instant.)
+func TestObserverSpanSumsMatchClock(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		level Level
+		cfg   Config
+	}{
+		{Level1, Config{Spec: machine.MustSpec(2), Level: Level1, K: 4, MaxIters: 8, Seed: 5}},
+		{Level2, Config{Spec: machine.MustSpec(2), Level: Level2, K: 8, MGroup: 4, MaxIters: 8, Seed: 3}},
+		{Level3, Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 8, Seed: 11}},
+	} {
+		rec := obs.NewRecorder()
+		cfg := tc.cfg
+		cfg.Stats = trace.NewStats()
+		cfg.Obs = rec
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.level, err)
+		}
+		var rankEnds []float64
+		for _, u := range rec.Units() {
+			if u.Name() == obs.IterUnit {
+				continue
+			}
+			if !strings.HasPrefix(u.Name(), "rank/") {
+				t.Errorf("%v: unexpected unit %q", tc.level, u.Name())
+			}
+			sum := checkTiling(t, u)
+			if math.Abs(sum-u.EndTime()) > 1e-9 {
+				t.Errorf("%v: unit %s durations sum to %.12g, clock at %.12g",
+					tc.level, u.Name(), sum, u.EndTime())
+			}
+			rankEnds = append(rankEnds, u.EndTime())
+		}
+		if len(rankEnds) != res.Plan.Ranks {
+			t.Fatalf("%v: %d rank units, plan has %d ranks", tc.level, len(rankEnds), res.Plan.Ranks)
+		}
+		for _, e := range rankEnds {
+			if e <= 0 {
+				t.Errorf("%v: a rank recorded no virtual time: %v", tc.level, rankEnds)
+			}
+		}
+		// The marker track annotates every executed iteration.
+		iterSpans := 0
+		for _, s := range rec.Unit(obs.IterUnit).Spans() {
+			if s.Kind == obs.KindIter {
+				iterSpans++
+			}
+		}
+		if iterSpans != res.Iters {
+			t.Errorf("%v: %d iter marker spans, result ran %d iterations", tc.level, iterSpans, res.Iters)
+		}
+	}
+}
+
+// TestObserverDoesNotPerturbRun: attaching a recorder must not change
+// the simulation — the fault-free timeline is locked bit-identical by
+// the golden suite, so observed and unobserved runs must agree exactly.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 300, 6, 3, 0.08, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []Level{Level1, Level2, Level3} {
+		run := func(rec *obs.Recorder) *Result {
+			res, err := Run(Config{
+				Spec: machine.MustSpec(1), Level: level, K: 3, MaxIters: 6, Seed: 5,
+				Stats: trace.NewStats(), Obs: rec,
+			}, g)
+			if err != nil {
+				t.Fatalf("%v: %v", level, err)
+			}
+			return res
+		}
+		plain, observed := run(nil), run(obs.NewRecorder())
+		if !reflect.DeepEqual(plain.IterTimes, observed.IterTimes) {
+			t.Errorf("%v: observer changed iteration times:\n%v\n%v", level, plain.IterTimes, observed.IterTimes)
+		}
+		if !reflect.DeepEqual(plain.Centroids, observed.Centroids) {
+			t.Errorf("%v: observer changed centroids", level)
+		}
+	}
+}
+
+// TestObserverRecordsRecovery: a crash-recovery run surfaces the
+// recovery machinery as typed spans — checkpoint, restore, replan on
+// the rank lanes, redo on the marker track — and stays deterministic.
+func TestObserverRecordsRecovery(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Spec: machine.MustSpec(1), Level: Level1, K: 4, MaxIters: 12, Seed: 3, Stats: trace.NewStats()}
+	clean, err := Run(base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := 0.4 * totalIterSeconds(clean)
+
+	run := func() (*Result, *obs.Recorder) {
+		rec := obs.NewRecorder()
+		cfg := base
+		cfg.Stats = trace.NewStats()
+		cfg.Obs = rec
+		cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: crashAt}}}
+		cfg.CheckpointInterval = 2
+		res, err := Run(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec
+	}
+	res, rec := run()
+	if res.Recovery == nil || res.Recovery.Replans < 1 {
+		t.Fatal("crash caused no recovery; the scenario no longer exercises the machinery")
+	}
+	kinds := map[string]bool{}
+	for _, u := range rec.Units() {
+		for _, s := range u.Spans() {
+			kinds[s.Kind] = true
+		}
+	}
+	for _, want := range []string{obs.KindCheckpoint, obs.KindRestore, obs.KindReplan, obs.KindRedo} {
+		if !kinds[want] {
+			t.Errorf("recovery run recorded no %q span (kinds: %v)", want, kinds)
+		}
+	}
+
+	// Identical seeded fault runs export byte-identically.
+	_, rec2 := run()
+	var b1, b2 bytes.Buffer
+	if err := obs.WriteTraceEvents(&b1, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteTraceEvents(&b2, rec2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("trace exports of identical fault runs differ")
+	}
+}

@@ -118,7 +118,7 @@ func (st *replicatedState) step(iter int) (stepOut, error) {
 	} else {
 		ic = costmodel.Level2(cfg.Spec, chargedN, cfg.K, d, env.eplan.MGroup, cfg.BatchSamples)
 	}
-	chargeCost(ic, st.work.Clock(), cfg.Stats)
+	chargeCost(ic, st.work.Clock(), cfg.Stats, st.work.Obs())
 	chargeTransientDMA(st.work, env, ic, at)
 
 	// Update step: the two AllReduce operations of Algorithm 1 line 14

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ldm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -28,6 +29,7 @@ type Engine struct {
 	stats   *trace.Stats
 	inj     *fault.Injector // nil when no faults are injected
 	cg      int             // core group the injector attributes faults to
+	unit    *obs.Unit       // span sink of the issuing CPE; nil disables
 }
 
 // New returns a DMA engine with the spec's published bandwidth and
@@ -61,6 +63,19 @@ func (e *Engine) WithFaults(inj *fault.Injector, cg int) *Engine {
 	return &d
 }
 
+// WithObserver returns a derived engine that records every transfer as
+// a "dma" span on the unit — retries included, so the span covers what
+// the transfer really cost the issuing CPE. A nil unit returns the
+// receiver unchanged, keeping the unobserved path allocation-free.
+func (e *Engine) WithObserver(u *obs.Unit) *Engine {
+	if u == nil {
+		return e
+	}
+	d := *e
+	d.unit = u
+	return &d
+}
+
 // TransferTime returns the modelled duration of moving n elements.
 func (e *Engine) TransferTime(elems int) float64 {
 	if elems <= 0 {
@@ -90,12 +105,32 @@ func (e *Engine) transfer(clock *vclock.Clock, dst, src []float64) error {
 	if len(src) == 0 {
 		return nil
 	}
+	start := e.spanStart(clock)
 	if err := e.faultDelay(clock, len(src)); err != nil {
 		return err
 	}
 	copy(dst, src)
 	e.account(clock, len(src))
+	e.spanEnd(clock, start, len(src))
 	return nil
+}
+
+// spanStart captures the virtual time a transfer begins, when spans
+// are being recorded.
+func (e *Engine) spanStart(clock *vclock.Clock) float64 {
+	if e.unit == nil || clock == nil {
+		return 0
+	}
+	return clock.Now()
+}
+
+// spanEnd records the whole transfer — retries and backoff included —
+// as one "dma" span of elems modelled elements.
+func (e *Engine) spanEnd(clock *vclock.Clock, start float64, elems int) {
+	if e.unit == nil || clock == nil {
+		return
+	}
+	e.unit.Record(obs.KindDMA, start, clock.Now(), int64(elems*ldm.ElemBytes), 0)
 }
 
 // faultDelay charges the retry cost of transient DMA faults for a
@@ -134,7 +169,9 @@ func (e *Engine) Charge(clock *vclock.Clock, elems int) {
 	if elems <= 0 {
 		return
 	}
+	start := e.spanStart(clock)
 	e.account(clock, elems)
+	e.spanEnd(clock, start, elems)
 }
 
 func (e *Engine) account(clock *vclock.Clock, elems int) {

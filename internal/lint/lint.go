@@ -87,6 +87,7 @@ var simPackageSuffixes = []string{
 	"internal/dma",
 	"internal/netmodel",
 	"internal/fault",
+	"internal/obs",
 }
 
 // DefaultConfig locates go.mod at or above dir and returns the

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ldm"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -52,6 +53,10 @@ type World struct {
 	nextID  uint64 // guarded by commIDs
 
 	clocks []*vclock.Clock
+
+	// obsUnits[g] is rank g's span unit, nil when unobserved. Installed
+	// before Run and only read by the rank's own goroutine afterwards.
+	obsUnits []*obs.Unit
 
 	// Fault state (see fault.go). crashCh[g] is closed by rank g's own
 	// goroutine when its scheduled fail-stop manifests; crashedAt[g] is
@@ -95,6 +100,20 @@ func (w *World) Spec() *machine.Spec { return w.spec }
 // MaxTime returns the latest virtual clock across ranks — the job's
 // completion time after Run returns.
 func (w *World) MaxTime() float64 { return vclock.MaxTime(w.clocks...) }
+
+// SetObserver attaches a span recorder: rank g records its collectives
+// and point-to-point operations as spans on unit "rank/<g>", stamped
+// with the rank's virtual clock. Install it before Run, never
+// concurrently with one; a nil recorder leaves the world unobserved.
+func (w *World) SetObserver(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	w.obsUnits = make([]*obs.Unit, w.size)
+	for g := range w.obsUnits {
+		w.obsUnits[g] = rec.Unit(fmt.Sprintf("rank/%d", g))
+	}
+}
 
 // ResetClocks zeroes all rank clocks between measured iterations.
 func (w *World) ResetClocks() {
@@ -217,6 +236,36 @@ func (c *Comm) Clock() *vclock.Clock { return c.w.clocks[c.Global()] }
 
 // Stats returns the world's trace sink (possibly nil).
 func (c *Comm) Stats() *trace.Stats { return c.w.stats }
+
+// Obs returns the rank's span unit, nil when the world is unobserved.
+// Engines record their local compute and DMA phases on it so the
+// rank's timeline tiles completely.
+func (c *Comm) Obs() *obs.Unit {
+	if c.w.obsUnits == nil {
+		return nil
+	}
+	return c.w.obsUnits[c.Global()]
+}
+
+// obsBegin opens a span section on the rank's unit at the current
+// virtual time. Composite collectives nest sections; the depth guard
+// in obs makes the outermost one claim the whole range.
+func (c *Comm) obsBegin() (*obs.Unit, obs.Mark) {
+	u := c.Obs()
+	if u == nil {
+		return nil, obs.Mark{}
+	}
+	return u, u.Begin(c.Clock().Now())
+}
+
+// obsEnd closes the section as one span of the given kind, ending at
+// the rank's current virtual time.
+func (c *Comm) obsEnd(u *obs.Unit, m obs.Mark, kind string, bytes int64) {
+	if u == nil {
+		return
+	}
+	u.End(m, kind, c.Clock().Now(), bytes, 0)
+}
 
 // nextTag mints the tag for the next collective operation (or the
 // next step of a multi-step collective). All ranks of a communicator
@@ -405,7 +454,10 @@ func (c *Comm) Send(dst int, tag int, data []float64, ints []int64) error {
 	if tag < 0 || tag >= 1<<20 {
 		return fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.send(dst, uint64(tag)|1<<63, data, ints)
+	u, m := c.obsBegin()
+	err := c.send(dst, uint64(tag)|1<<63, data, ints)
+	c.obsEnd(u, m, "mpi:send", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return err
 }
 
 // Recv receives the matching point-to-point message from src.
@@ -413,7 +465,10 @@ func (c *Comm) Recv(src int, tag int) ([]float64, []int64, error) {
 	if tag < 0 || tag >= 1<<20 {
 		return nil, nil, fmt.Errorf("mpi: user tag %d out of range", tag)
 	}
-	return c.recv(src, uint64(tag)|1<<63)
+	u, m := c.obsBegin()
+	data, ints, err := c.recv(src, uint64(tag)|1<<63)
+	c.obsEnd(u, m, "mpi:recv", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return data, ints, err
 }
 
 // Barrier blocks until every rank of the communicator has entered,
@@ -421,6 +476,13 @@ func (c *Comm) Recv(src int, tag int) ([]float64, []int64, error) {
 // A failure anywhere poisons every survivor: dissemination is an
 // allgather pattern, so the failure marker reaches all ranks.
 func (c *Comm) Barrier() error {
+	u, m := c.obsBegin()
+	err := c.barrier()
+	c.obsEnd(u, m, "mpi:barrier", 0)
+	return err
+}
+
+func (c *Comm) barrier() error {
 	st := &opState{}
 	for step := 1; step < c.size; step *= 2 {
 		tag := c.nextTag()
@@ -440,11 +502,14 @@ func (c *Comm) Barrier() error {
 // binomial tree. Non-root ranks receive into the provided slices,
 // which must have the same lengths as root's.
 func (c *Comm) Bcast(root int, data []float64, ints []int64) error {
+	u, m := c.obsBegin()
 	st := &opState{}
-	if err := c.bcastOp(st, root, data, ints); err != nil {
-		return err
+	err := c.bcastOp(st, root, data, ints)
+	if err == nil {
+		err = st.err()
 	}
-	return st.err()
+	c.obsEnd(u, m, "mpi:bcast", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return err
 }
 
 // bcastOp is the poison-aware broadcast body shared by Bcast and the
@@ -497,11 +562,14 @@ func commRank(r int) int { return r }
 // left in an unspecified partially-combined state; callers that need
 // the result everywhere use AllReduceSum.
 func (c *Comm) Reduce(root int, data []float64, ints []int64) error {
+	u, m := c.obsBegin()
 	st := &opState{}
-	if err := c.reduceOp(st, root, data, ints); err != nil {
-		return err
+	err := c.reduceOp(st, root, data, ints)
+	if err == nil {
+		err = st.err()
 	}
-	return st.err()
+	c.obsEnd(u, m, "mpi:reduce", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return err
 }
 
 // reduceOp is the poison-aware binomial reduce body. A failure in any
@@ -546,6 +614,13 @@ func (c *Comm) reduceOp(st *opState, root int, data []float64, ints []int64) err
 // every survivor returns the same *RankFailure: the broadcast phase
 // always runs, distributing the poison the reduce phase collected.
 func (c *Comm) AllReduceSum(data []float64, ints []int64) error {
+	u, m := c.obsBegin()
+	err := c.allReduceSum(data, ints)
+	c.obsEnd(u, m, "mpi:allreduce", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return err
+}
+
+func (c *Comm) allReduceSum(data []float64, ints []int64) error {
 	if c.size == 1 {
 		return c.checkSelfCrash()
 	}
@@ -565,6 +640,13 @@ func (c *Comm) AllReduceSum(data []float64, ints []int64) error {
 // and 3 (a(i) = min a(i)'), with payload carrying the centroid index.
 // All ranks receive identical results.
 func (c *Comm) AllReduceMinPairs(vals []float64, idxs []int64) error {
+	u, m := c.obsBegin()
+	err := c.allReduceMinPairs(vals, idxs)
+	c.obsEnd(u, m, "mpi:minpairs", int64((len(vals)+len(idxs))*ldm.ElemBytes))
+	return err
+}
+
+func (c *Comm) allReduceMinPairs(vals []float64, idxs []int64) error {
 	if len(vals) != len(idxs) {
 		return fmt.Errorf("mpi: min-pairs length mismatch %d vs %d", len(vals), len(idxs))
 	}
@@ -609,6 +691,13 @@ func (c *Comm) AllReduceMinPairs(vals []float64, idxs []int64) error {
 // concatenation ordered by rank, identical on every rank. All
 // contributions must have the same length.
 func (c *Comm) AllGatherInts(contrib []int64) ([]int64, error) {
+	u, m := c.obsBegin()
+	all, err := c.allGatherInts(contrib)
+	c.obsEnd(u, m, "mpi:allgather", int64(len(all)*ldm.ElemBytes))
+	return all, err
+}
+
+func (c *Comm) allGatherInts(contrib []int64) ([]int64, error) {
 	n := len(contrib)
 	all := make([]int64, n*c.size)
 	copy(all[c.rank*n:], contrib)
@@ -653,6 +742,13 @@ func (c *Comm) AllGatherInts(contrib []int64) ([]int64, error) {
 // must call Split. The returned Comm is ready for collectives within
 // the partition.
 func (c *Comm) Split(color, key int) (*Comm, error) {
+	u, m := c.obsBegin()
+	sub, err := c.split(color, key)
+	c.obsEnd(u, m, "mpi:split", 0)
+	return sub, err
+}
+
+func (c *Comm) split(color, key int) (*Comm, error) {
 	pairs, err := c.AllGatherInts([]int64{int64(color), int64(key)})
 	if err != nil {
 		return nil, err

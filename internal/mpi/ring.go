@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ldm"
+)
 
 // ringThresholdElems selects the allreduce algorithm: payloads of at
 // least this many elements use the bandwidth-optimal ring, smaller
@@ -30,6 +34,13 @@ func (c *Comm) AllReduceSumAuto(data []float64, ints []int64) error {
 // payload regardless of p, versus 2·log2(p) payloads for the binomial
 // algorithm — the classic large-message trade.
 func (c *Comm) AllReduceSumRing(data []float64, ints []int64) error {
+	u, m := c.obsBegin()
+	err := c.allReduceSumRing(data, ints)
+	c.obsEnd(u, m, "mpi:allreduce", int64((len(data)+len(ints))*ldm.ElemBytes))
+	return err
+}
+
+func (c *Comm) allReduceSumRing(data []float64, ints []int64) error {
 	p := c.size
 	if p == 1 {
 		return c.checkSelfCrash()

@@ -1,0 +1,190 @@
+// Chrome trace-event export. The format is the subset of the Trace
+// Event Format that Perfetto and chrome://tracing load: one
+// "traceEvents" array of complete events (ph "X") with microsecond
+// timestamps, plus thread_name metadata events (ph "M") naming each
+// unit's track. See docs/OBSERVABILITY.md for the schema and how to
+// open the file.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// usPerSecond converts virtual seconds to the trace format's
+// microsecond timestamps.
+const usPerSecond = 1e6
+
+// TraceEvent is one entry of the exported traceEvents array. Fields
+// marshal in declaration order, which is what makes the export
+// byte-stable.
+type TraceEvent struct {
+	Name string    `json:"name"`
+	Cat  string    `json:"cat,omitempty"`
+	Ph   string    `json:"ph"`
+	Ts   float64   `json:"ts"`
+	Dur  *float64  `json:"dur,omitempty"`
+	Pid  int       `json:"pid"`
+	Tid  int       `json:"tid"`
+	Args *SpanArgs `json:"args,omitempty"`
+}
+
+// SpanArgs annotates a span event with its iteration and modelled
+// traffic.
+type SpanArgs struct {
+	Iter  int   `json:"iter"`
+	Bytes int64 `json:"bytes"`
+	Flops int64 `json:"flops"`
+}
+
+// TrackArgs is the args payload of a thread_name metadata event.
+type TrackArgs struct {
+	Name string `json:"name"`
+}
+
+// WriteTraceEvents writes the recorder's spans as a Chrome
+// trace-event JSON document: one track (tid) per unit in natural name
+// order, all under one process.
+func WriteTraceEvents(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	put := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	for tid, u := range r.Units() {
+		meta := struct {
+			Name string    `json:"name"`
+			Ph   string    `json:"ph"`
+			Pid  int       `json:"pid"`
+			Tid  int       `json:"tid"`
+			Args TrackArgs `json:"args"`
+		}{Name: "thread_name", Ph: "M", Pid: 0, Tid: tid, Args: TrackArgs{Name: u.Name()}}
+		if err := put(meta); err != nil {
+			return err
+		}
+		for _, s := range u.Spans() {
+			dur := s.Duration() * usPerSecond
+			ev := TraceEvent{
+				Name: s.Kind,
+				Cat:  PhaseClass(s.Kind),
+				Ph:   "X",
+				Ts:   s.Start * usPerSecond,
+				Dur:  &dur,
+				Pid:  0,
+				Tid:  tid,
+				Args: &SpanArgs{Iter: s.Iter, Bytes: s.Bytes, Flops: s.Flops},
+			}
+			if err := put(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing trace export: %w", err)
+	}
+	return nil
+}
+
+// jsonlSpan is the "span" line of the metrics JSONL export.
+type jsonlSpan struct {
+	Type  string  `json:"type"`
+	Unit  string  `json:"unit"`
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Iter  int     `json:"iter"`
+	Bytes int64   `json:"bytes"`
+	Flops int64   `json:"flops"`
+}
+
+// jsonlRankIter is the per-(unit, iteration) phase-seconds line.
+type jsonlRankIter struct {
+	Type     string  `json:"type"`
+	Unit     string  `json:"unit"`
+	Iter     int     `json:"iter"`
+	Compute  float64 `json:"compute_seconds"`
+	DMA      float64 `json:"dma_seconds"`
+	Reg      float64 `json:"regcomm_seconds"`
+	MPI      float64 `json:"mpi_seconds"`
+	Recovery float64 `json:"recovery_seconds"`
+	Other    float64 `json:"other_seconds"`
+	Total    float64 `json:"total_seconds"`
+}
+
+// jsonlIter is the derived per-iteration line: critical path and load
+// imbalance across units.
+type jsonlIter struct {
+	Type         string  `json:"type"`
+	Iter         int     `json:"iter"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	Imbalance    float64 `json:"imbalance"`
+	CriticalUnit string  `json:"critical_unit"`
+}
+
+// WriteMetricsJSONL writes the structured event log: every span as a
+// "span" line, then the per-iteration per-unit phase table as
+// "rank_iter" lines, then the derived per-iteration critical-path and
+// imbalance stats as "iter" lines. Line order is deterministic.
+func WriteMetricsJSONL(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, u := range r.Units() {
+		for _, s := range u.Spans() {
+			line := jsonlSpan{
+				Type: "span", Unit: u.Name(), Kind: s.Kind,
+				Start: s.Start, End: s.End, Iter: s.Iter,
+				Bytes: s.Bytes, Flops: s.Flops,
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	m := Summarize(r)
+	for _, row := range m.Ranks {
+		line := jsonlRankIter{
+			Type: "rank_iter", Unit: row.Unit, Iter: row.Iter,
+			Compute: row.Phases.Compute, DMA: row.Phases.DMA,
+			Reg: row.Phases.Reg, MPI: row.Phases.MPI,
+			Recovery: row.Phases.Recovery, Other: row.Phases.Other,
+			Total: row.Phases.Total(),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, it := range m.Iters {
+		line := jsonlIter{
+			Type: "iter", Iter: it.Iter,
+			MaxSeconds: it.MaxSeconds, MeanSeconds: it.MeanSeconds,
+			Imbalance: it.Imbalance, CriticalUnit: it.CriticalUnit,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing metrics export: %w", err)
+	}
+	return nil
+}

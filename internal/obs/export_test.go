@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleRecorder builds a small two-unit recorder with a marker track.
+func sampleRecorder() *Recorder {
+	r := NewRecorder()
+	a := r.Unit("rank/0")
+	a.SetIter(0)
+	a.Record(KindCompute, 0, 1, 0, 100)
+	a.Record(KindMPI+"allreduce", 1, 1.5, 64, 0)
+	b := r.Unit("rank/1")
+	b.SetIter(0)
+	b.Record(KindDMA, 0, 0.5, 32, 0)
+	b.Finish(1.5)
+	it := r.Unit(IterUnit)
+	it.SetIter(0)
+	it.Record(KindIter, 0, 1.5, 0, 0)
+	return r
+}
+
+func TestWriteTraceEventsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// Unit order is natural: iterations, rank/0, rank/1 -> tids 0,1,2.
+	// Each track opens with a thread_name metadata event.
+	metas, complete := 0, 0
+	names := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event named %q", ev.Name)
+			}
+			names[ev.Tid] = ev.Args["name"].(string)
+			metas++
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %q", ev.Name)
+			}
+			if _, ok := ev.Args["iter"]; !ok {
+				t.Errorf("span %q missing iter arg", ev.Name)
+			}
+			complete++
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if metas != 3 {
+		t.Errorf("got %d thread_name events, want 3", metas)
+	}
+	if complete != 5 {
+		t.Errorf("got %d complete events, want 5", complete)
+	}
+	if names[0] != IterUnit || names[1] != "rank/0" || names[2] != "rank/1" {
+		t.Errorf("track names = %v", names)
+	}
+	// Microsecond conversion: rank/0's compute span is 1s = 1e6 us.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == KindCompute && ev.Tid == 1 {
+			found = true
+			if ev.Dur != 1e6 {
+				t.Errorf("compute dur = %g us, want 1e6", ev.Dur)
+			}
+			if ev.Cat != PhaseCompute {
+				t.Errorf("compute cat = %q", ev.Cat)
+			}
+		}
+	}
+	if !found {
+		t.Error("rank/0 compute span not exported")
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	// Two identically-built recorders export byte-identical documents,
+	// regardless of map iteration order inside the recorder.
+	var t1, t2, m1, m2 bytes.Buffer
+	if err := WriteTraceEvents(&t1, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEvents(&t2, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("trace exports differ between identical recorders")
+	}
+	if err := WriteMetricsJSONL(&m1, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSONL(&m2, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Error("metrics exports differ between identical recorders")
+	}
+}
+
+func TestWriteMetricsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsJSONL(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q is not JSON: %v", sc.Text(), err)
+		}
+		typ, _ := line["type"].(string)
+		counts[typ]++
+		switch typ {
+		case "span":
+			for _, k := range []string{"unit", "kind", "start", "end", "iter", "bytes", "flops"} {
+				if _, ok := line[k]; !ok {
+					t.Errorf("span line missing %q: %v", k, line)
+				}
+			}
+		case "rank_iter":
+			for _, k := range []string{"unit", "iter", "compute_seconds", "dma_seconds", "regcomm_seconds", "mpi_seconds", "recovery_seconds", "other_seconds", "total_seconds"} {
+				if _, ok := line[k]; !ok {
+					t.Errorf("rank_iter line missing %q: %v", k, line)
+				}
+			}
+		case "iter":
+			for _, k := range []string{"iter", "max_seconds", "mean_seconds", "imbalance", "critical_unit"} {
+				if _, ok := line[k]; !ok {
+					t.Errorf("iter line missing %q: %v", k, line)
+				}
+			}
+		default:
+			t.Errorf("unknown line type %q", typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 spans from the units (incl. rank/1's Finish filler) + 1 marker
+	// span; one rank_iter row per unit and iteration; 1 iter line.
+	if counts["span"] != 5 {
+		t.Errorf("span lines = %d, want 5", counts["span"])
+	}
+	if counts["iter"] != 1 {
+		t.Errorf("iter lines = %d, want 1", counts["iter"])
+	}
+	if counts["rank_iter"] == 0 {
+		t.Error("no rank_iter lines")
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// tilingError returns a non-empty description if the unit's spans do
+// not partition [0, EndTime] contiguously.
+func tilingError(u *Unit) string {
+	cursor := 0.0
+	for i, s := range u.Spans() {
+		//swlint:ignore float-eq tiling carries exact timestamps forward; any drift is a bug
+		if s.Start != cursor {
+			return "span " + s.Kind + " starts off the cursor"
+		}
+		if s.End < s.Start {
+			return "span " + s.Kind + " ends before it starts"
+		}
+		cursor = s.End
+		_ = i
+	}
+	//swlint:ignore float-eq the final span end and EndTime are the same stored value
+	if cursor != u.EndTime() {
+		return "spans do not reach EndTime"
+	}
+	return ""
+}
+
+func TestUnitRecordTiling(t *testing.T) {
+	r := NewRecorder()
+	u := r.Unit("rank/0")
+	u.Record(KindCompute, 0, 1, 0, 100)
+	// Gap [1,2) must surface as an "other" filler.
+	u.Record(KindDMA, 2, 3, 64, 0)
+	// Start behind the cursor clips forward.
+	u.Record(KindReg, 2.5, 4, 8, 0)
+	// Zero-duration span with no payload is dropped.
+	u.Record(KindCompute, 4, 4, 0, 0)
+	// Zero-duration span with payload is kept.
+	u.Record(KindReg, 4, 4, 16, 0)
+	u.Finish(5)
+
+	spans := u.Spans()
+	kinds := make([]string, len(spans))
+	for i, s := range spans {
+		kinds[i] = s.Kind
+	}
+	want := []string{KindCompute, KindOther, KindDMA, KindReg, KindReg, KindOther}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if spans[3].Start != 3.0 || spans[3].End != 4.0 {
+		t.Errorf("clipped span = [%g,%g], want [3,4]", spans[3].Start, spans[3].End)
+	}
+	if msg := tilingError(u); msg != "" {
+		t.Errorf("tiling broken: %s", msg)
+	}
+	if u.EndTime() != 5.0 {
+		t.Errorf("EndTime = %g, want 5", u.EndTime())
+	}
+	sum := 0.0
+	for _, s := range spans {
+		sum += s.Duration()
+	}
+	if math.Abs(sum-5.0) > 1e-12 {
+		t.Errorf("durations sum to %g, want 5", sum)
+	}
+}
+
+func TestBeginEndNesting(t *testing.T) {
+	r := NewRecorder()
+	u := r.Unit("rank/0")
+	outer := u.Begin(0)
+	inner := u.Begin(0.2)
+	// Standalone records inside an open section are suppressed: the
+	// section claims the whole range.
+	u.Record(KindCompute, 0.3, 0.4, 0, 10)
+	u.RecordCost(0.4, 0.1, 0.1, 0.1, 1, 1, 1)
+	u.End(inner, KindMPI+"allgather", 0.8, 32, 0)
+	u.End(outer, KindReplan, 1.0, 0, 0)
+	spans := u.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (the outer section): %+v", len(spans), spans)
+	}
+	if spans[0].Kind != KindReplan || spans[0].Start != 0.0 || spans[0].End != 1.0 {
+		t.Errorf("outer span = %+v, want replan [0,1]", spans[0])
+	}
+	// After the section closed, records work again.
+	u.Record(KindCompute, 1, 2, 0, 5)
+	if n := len(u.Spans()); n != 2 {
+		t.Errorf("post-section record did not land: %d spans", n)
+	}
+}
+
+func TestRecordCostTriple(t *testing.T) {
+	r := NewRecorder()
+	u := r.Unit("rank/1")
+	u.RecordCost(0, 0.5, 0.25, 0.125, 100, 200, 300)
+	spans := u.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	if spans[0].Kind != KindDMA || spans[0].Bytes != 100 {
+		t.Errorf("span 0 = %+v, want dma with 100 bytes", spans[0])
+	}
+	if spans[1].Kind != KindCompute || spans[1].Flops != 300 {
+		t.Errorf("span 1 = %+v, want compute with 300 flops", spans[1])
+	}
+	if spans[2].Kind != KindReg || spans[2].Bytes != 200 {
+		t.Errorf("span 2 = %+v, want regcomm with 200 bytes", spans[2])
+	}
+	if got := u.EndTime(); math.Abs(got-0.875) > 1e-15 {
+		t.Errorf("EndTime = %g, want 0.875", got)
+	}
+	if msg := tilingError(u); msg != "" {
+		t.Errorf("tiling broken: %s", msg)
+	}
+}
+
+func TestSetIterLabelsSpans(t *testing.T) {
+	r := NewRecorder()
+	u := r.Unit("rank/0")
+	u.Record(KindCompute, 0, 1, 0, 0)
+	u.SetIter(3)
+	u.Record(KindCompute, 1, 2, 0, 0)
+	u.SetIter(-1)
+	u.Finish(3)
+	spans := u.Spans()
+	if spans[0].Iter != -1 || spans[1].Iter != 3 || spans[2].Iter != -1 {
+		t.Errorf("iter labels = %d,%d,%d, want -1,3,-1", spans[0].Iter, spans[1].Iter, spans[2].Iter)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	u := r.Unit("anything")
+	if u != nil {
+		t.Fatal("nil recorder returned a unit")
+	}
+	// None of these may panic.
+	m := u.Begin(0)
+	u.End(m, KindCompute, 1, 0, 0)
+	u.Record(KindDMA, 0, 1, 8, 0)
+	u.RecordCost(0, 1, 1, 1, 1, 1, 1)
+	u.SetIter(4)
+	u.Finish(9)
+	if u.Name() != "" || u.EndTime() != 0 || u.Spans() != nil {
+		t.Error("nil unit leaked state")
+	}
+	if r.Units() != nil {
+		t.Error("nil recorder returned units")
+	}
+}
+
+func TestUnitsNaturalOrder(t *testing.T) {
+	r := NewRecorder()
+	for _, name := range []string{"rank/10", "cpe/2", "rank/2", "cpe/10", "iterations", "cg2/cpe/3", "cg10/cpe/3"} {
+		r.Unit(name)
+	}
+	var got []string
+	for _, u := range r.Units() {
+		got = append(got, u.Name())
+	}
+	want := []string{"cg2/cpe/3", "cg10/cpe/3", "cpe/2", "cpe/10", "iterations", "rank/2", "rank/10"}
+	if len(got) != len(want) {
+		t.Fatalf("units = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("units = %v, want %v", got, want)
+		}
+	}
+	// Same name returns the same unit.
+	if r.Unit("rank/2") != r.Unit("rank/2") {
+		t.Error("Unit is not idempotent per name")
+	}
+}
+
+func TestPhaseClass(t *testing.T) {
+	cases := map[string]string{
+		KindCompute:      PhaseCompute,
+		KindDMA:          PhaseDMA,
+		KindReg:          PhaseReg,
+		KindCheckpoint:   PhaseRecovery,
+		KindRestore:      PhaseRecovery,
+		KindReplan:       PhaseRecovery,
+		KindRedo:         PhaseRecovery,
+		KindIter:         PhaseMarker,
+		KindOther:        PhaseOther,
+		"mpi:allreduce":  PhaseMPI,
+		"mpi:barrier":    PhaseMPI,
+		"something-else": PhaseOther,
+	}
+	for kind, want := range cases {
+		if got := PhaseClass(kind); got != want {
+			t.Errorf("PhaseClass(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	a := r.Unit("rank/0")
+	b := r.Unit("rank/1")
+	// Marker track must not show up in the metrics.
+	it := r.Unit(IterUnit)
+	it.SetIter(0)
+	it.Record(KindIter, 0, 3, 0, 0)
+
+	a.SetIter(0)
+	a.Record(KindCompute, 0, 1, 0, 10)
+	a.Record(KindMPI+"allreduce", 1, 2, 8, 0)
+	b.SetIter(0)
+	b.Record(KindCompute, 0, 3, 0, 30)
+	a.SetIter(1)
+	a.Record(KindDMA, 2, 4, 64, 0)
+	b.SetIter(1)
+	b.Record(KindCompute, 3, 4, 0, 10)
+
+	m := Summarize(r)
+	if len(m.Ranks) != 4 {
+		t.Fatalf("got %d rank rows, want 4: %+v", len(m.Ranks), m.Ranks)
+	}
+	// Ordered by iter then natural unit order.
+	r0 := m.Ranks[0]
+	if r0.Unit != "rank/0" || r0.Iter != 0 {
+		t.Errorf("row 0 = %+v, want rank/0 iter 0", r0)
+	}
+	if math.Abs(r0.Phases.Compute-1) > 1e-12 || math.Abs(r0.Phases.MPI-1) > 1e-12 {
+		t.Errorf("rank/0 iter0 phases = %+v", r0.Phases)
+	}
+	if len(m.Iters) != 2 {
+		t.Fatalf("got %d iter stats, want 2: %+v", len(m.Iters), m.Iters)
+	}
+	it0 := m.Iters[0]
+	// iter 0: rank/0 total 2, rank/1 total 3 -> max 3 on rank/1, mean 2.5.
+	if it0.CriticalUnit != "rank/1" || math.Abs(it0.MaxSeconds-3) > 1e-12 {
+		t.Errorf("iter0 critical = %+v", it0)
+	}
+	if math.Abs(it0.MeanSeconds-2.5) > 1e-12 || math.Abs(it0.Imbalance-1.2) > 1e-12 {
+		t.Errorf("iter0 mean/imbalance = %+v", it0)
+	}
+
+	totals := UnitTotals(r)
+	if len(totals) != 2 {
+		t.Fatalf("got %d unit totals, want 2 (marker excluded): %+v", len(totals), totals)
+	}
+	if totals[0].Unit != "rank/0" || math.Abs(totals[0].Phases.Total()-4) > 1e-12 {
+		t.Errorf("unit total 0 = %+v", totals[0])
+	}
+}

@@ -1,0 +1,18 @@
+package obs
+
+import "repro/internal/report"
+
+// Lanes adapts the recorder's units to the ASCII timeline renderer:
+// one lane per unit in natural name order, the marker track included
+// so iteration boundaries are visible above the rank rows.
+func Lanes(r *Recorder) []report.TimelineLane {
+	var lanes []report.TimelineLane
+	for _, u := range r.Units() {
+		lane := report.TimelineLane{Name: u.Name()}
+		for _, s := range u.Spans() {
+			lane.Spans = append(lane.Spans, report.TimelineSpan{Start: s.Start, End: s.End, Kind: s.Kind})
+		}
+		lanes = append(lanes, lane)
+	}
+	return lanes
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ldm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -89,6 +90,10 @@ type Mesh struct {
 	stats  *trace.Stats
 	inbox  []chan message
 	clocks []*vclock.Clock
+	// units[i] is CPE i's span sink, nil when unobserved. Installed
+	// before Run; afterwards each unit is touched only by its CPE's
+	// goroutine (Run's completion channel orders the handoff).
+	units []*obs.Unit
 }
 
 // NewMesh builds the fabric for one core group. The stats sink may be
@@ -124,6 +129,38 @@ func (m *Mesh) Run(kernel func(c *CPE)) float64 {
 		<-done
 	}
 	return vclock.MaxTime(m.clocks...)
+}
+
+// SetObserver attaches a span recorder: CPE i records its register
+// transfers and kernel compute on unit "<prefix>cpe/<i>". The prefix
+// namespaces meshes when several CGs run fine-grained at once. Install
+// before Run, never concurrently with one.
+func (m *Mesh) SetObserver(rec *obs.Recorder, prefix string) {
+	if rec == nil {
+		return
+	}
+	m.units = make([]*obs.Unit, machine.CPEsPerCG)
+	for i := range m.units {
+		m.units[i] = rec.Unit(fmt.Sprintf("%scpe/%d", prefix, i))
+	}
+}
+
+// Unit returns CPE i's span unit, nil when the mesh is unobserved.
+// Kernels record their compute and DMA phases on it.
+func (m *Mesh) Unit(i int) *obs.Unit {
+	if m.units == nil {
+		return nil
+	}
+	return m.units[i]
+}
+
+// FinishObserved closes every CPE's timeline at its final clock,
+// surfacing trailing synchronization as explicit "other" spans. Call
+// after the last Run.
+func (m *Mesh) FinishObserved() {
+	for i, u := range m.units {
+		u.Finish(m.clocks[i].Now())
+	}
 }
 
 // Reset zeroes all CPE clocks, for reuse across measured iterations.
@@ -187,8 +224,10 @@ func (c *CPE) Send(dst int, data []float64, ints []int64) error {
 	}
 	elems := len(data) + len(ints)
 	cost := c.mesh.model.P2PTime(elems)
+	start := c.Clock().Now()
 	c.Clock().Advance(cost)
 	c.mesh.stats.AddReg(int64(elems * ldm.ElemBytes))
+	c.mesh.Unit(c.id).Record(obs.KindReg, start, c.Clock().Now(), int64(elems*ldm.ElemBytes), 0)
 	msg := message{from: c.id, time: c.Clock().Now()}
 	msg.data = append(msg.data, data...)
 	msg.ints = append(msg.ints, ints...)
@@ -206,6 +245,7 @@ func (c *CPE) Recv(src int) ([]float64, []int64, error) {
 	// Messages from distinct senders may interleave in the inbox; hold
 	// back foreign messages and redeliver them.
 	var held []message
+	start := c.Clock().Now()
 	for {
 		msg := <-c.mesh.inbox[c.id]
 		if msg.from == src {
@@ -213,6 +253,8 @@ func (c *CPE) Recv(src int) ([]float64, []int64, error) {
 				c.mesh.inbox[c.id] <- h
 			}
 			c.Clock().AdvanceTo(msg.time)
+			c.mesh.Unit(c.id).Record(obs.KindReg, start, c.Clock().Now(),
+				int64((len(msg.data)+len(msg.ints))*ldm.ElemBytes), 0)
 			return msg.data, msg.ints, nil
 		}
 		held = append(held, msg)

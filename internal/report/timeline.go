@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelineSpan is one typed interval on a timeline lane, in virtual
+// seconds.
+type TimelineSpan struct {
+	Start, End float64
+	Kind       string
+}
+
+// TimelineLane is one row of the ASCII timeline: a named unit and its
+// span time line in ascending, non-overlapping order.
+type TimelineLane struct {
+	Name  string
+	Spans []TimelineSpan
+}
+
+// timelineGlyphs maps span kinds to the single character that paints
+// a timeline cell. MPI collectives share one glyph regardless of the
+// operation.
+var timelineGlyphs = map[string]byte{
+	"compute":    'C',
+	"dma":        'D',
+	"regcomm":    'R',
+	"checkpoint": 'K',
+	"restore":    'S',
+	"replan":     'P',
+	"redo":       'X',
+	"iter":       'I',
+	"other":      '.',
+}
+
+// KindGlyph returns the timeline character for a span kind.
+func KindGlyph(kind string) byte {
+	if g, ok := timelineGlyphs[kind]; ok {
+		return g
+	}
+	if strings.HasPrefix(kind, "mpi:") {
+		return 'M'
+	}
+	return '?'
+}
+
+// timelineLegend is printed under every timeline so the glyphs read
+// without consulting the docs.
+const timelineLegend = "C compute  D dma  R regcomm  M mpi  K checkpoint  S restore  P replan  X redo  I iter  . other"
+
+// RenderTimeline paints one character row per lane over a shared
+// virtual-time axis of the given width: each column covers an equal
+// time slice and shows the glyph of the span kind occupying the
+// largest share of that slice (a space when nothing covers it).
+func RenderTimeline(w io.Writer, title string, lanes []TimelineLane, width int) error {
+	if width < 8 {
+		width = 8
+	}
+	tmax := 0.0
+	nameW := 4
+	for _, l := range lanes {
+		if len(l.Name) > nameW {
+			nameW = len(l.Name)
+		}
+		for _, s := range l.Spans {
+			if s.End > tmax {
+				tmax = s.End
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if tmax <= 0 {
+		b.WriteString("(empty timeline)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	dt := tmax / float64(width)
+	fmt.Fprintf(&b, "virtual time 0 .. %s, %s per column\n", formatSeconds(tmax), formatSeconds(dt))
+	for _, l := range lanes {
+		row := paintLane(l.Spans, tmax, width)
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, l.Name, row)
+	}
+	fmt.Fprintf(&b, "%s\n", timelineLegend)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// paintLane fills one row: per column, the glyph of the kind covering
+// the largest share of the column's time slice.
+func paintLane(spans []TimelineSpan, tmax float64, width int) string {
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	cover := make(map[string]float64)
+	dt := tmax / float64(width)
+	si := 0
+	for col := 0; col < width; col++ {
+		lo := float64(col) * dt
+		hi := lo + dt
+		// Spans and columns both advance in time order: drop spans that
+		// ended before this column.
+		for si < len(spans) && spans[si].End <= lo {
+			si++
+		}
+		for k := range cover {
+			delete(cover, k)
+		}
+		bestKind, bestCov := "", 0.0
+		for j := si; j < len(spans) && spans[j].Start < hi; j++ {
+			s := spans[j]
+			a, z := s.Start, s.End
+			if a < lo {
+				a = lo
+			}
+			if z > hi {
+				z = hi
+			}
+			if z <= a {
+				continue
+			}
+			cover[s.Kind] += z - a
+			if cover[s.Kind] > bestCov {
+				bestKind, bestCov = s.Kind, cover[s.Kind]
+			}
+		}
+		if bestCov > 0 {
+			row[col] = KindGlyph(bestKind)
+		}
+	}
+	return string(row)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindGlyph(t *testing.T) {
+	cases := map[string]byte{
+		"compute":       'C',
+		"dma":           'D',
+		"regcomm":       'R',
+		"checkpoint":    'K',
+		"restore":       'S',
+		"replan":        'P',
+		"redo":          'X',
+		"iter":          'I',
+		"other":         '.',
+		"mpi:allreduce": 'M',
+		"mpi:barrier":   'M',
+		"mystery":       '?',
+	}
+	for kind, want := range cases {
+		if got := KindGlyph(kind); got != want {
+			t.Errorf("KindGlyph(%q) = %c, want %c", kind, got, want)
+		}
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, "title", nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty timeline)") {
+		t.Errorf("empty render = %q", buf.String())
+	}
+}
+
+func TestRenderTimelineRows(t *testing.T) {
+	lanes := []TimelineLane{
+		{Name: "rank/0", Spans: []TimelineSpan{
+			{Start: 0, End: 5, Kind: "compute"},
+			{Start: 5, End: 10, Kind: "mpi:allreduce"},
+		}},
+		{Name: "rank/1", Spans: []TimelineSpan{
+			{Start: 0, End: 10, Kind: "dma"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, "test timeline", lanes, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, axis, two lanes, legend.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "virtual time 0 ..") {
+		t.Errorf("axis line = %q", lines[1])
+	}
+	if want := "rank/0 |CCCCCMMMMM|"; lines[2] != want {
+		t.Errorf("lane 0 = %q, want %q", lines[2], want)
+	}
+	if want := "rank/1 |DDDDDDDDDD|"; lines[3] != want {
+		t.Errorf("lane 1 = %q, want %q", lines[3], want)
+	}
+	if !strings.Contains(lines[4], "C compute") || !strings.Contains(lines[4], "M mpi") {
+		t.Errorf("legend = %q", lines[4])
+	}
+}
+
+func TestRenderTimelineDominantKindPerColumn(t *testing.T) {
+	// One 4-wide timeline over [0,4): the second column [1,2) is 60%
+	// compute, 40% dma, so compute paints it.
+	lanes := []TimelineLane{{Name: "u", Spans: []TimelineSpan{
+		{Start: 0, End: 1.6, Kind: "compute"},
+		{Start: 1.6, End: 4, Kind: "dma"},
+	}}}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, "", lanes, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Width is clamped up to 8; columns of 0.5s each: compute dominates
+	// the first four (through t=1.6 covering 0.1 of column [1.5,2)...
+	// dma covers 0.4), dma the rest.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "u ") {
+			if want := "u    |CCCDDDDD|"; line != want {
+				t.Errorf("lane = %q, want %q", line, want)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dma"
 	"repro/internal/ldm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regcomm"
 	"repro/internal/trace"
 )
@@ -45,6 +46,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 
 	stats := trace.NewStats()
 	mesh := regcomm.NewMesh(spec, stats)
+	mesh.SetObserver(opt.rec, "")
 	engine, err := dma.New(spec, stats)
 	if err != nil {
 		return nil, err
@@ -66,6 +68,8 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 	iters := newTimeline(maxIters)
 
 	mesh.Run(func(c *regcomm.CPE) {
+		unit := mesh.Unit(c.ID())
+		engine := engine.WithObserver(unit)
 		group := c.ID() / mgroup
 		member := c.ID() % mgroup
 		kLo, kHi := share(k, mgroup, member)
@@ -127,7 +131,9 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 				}
 				if kLocal > 0 {
 					stats.AddFlops(int64(d) * int64(3*kLocal))
+					t0 := c.Clock().Now()
 					c.Clock().AdvanceScaled(float64(d*3*kLocal)/spec.CPU.FlopsPerCPE, slow)
+					unit.Record(obs.KindCompute, t0, c.Clock().Now(), 0, int64(d)*int64(3*kLocal))
 				}
 				// a(i) = min a(i)': min-reduce within the group.
 				wJ, _, err := minReduceGroup(c, mgroup, bestJ, bestD)
@@ -145,7 +151,9 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 					}
 					counts[wJ-kLo]++
 					stats.AddFlops(int64(d))
+					t0 := c.Clock().Now()
 					c.Clock().AdvanceScaled(float64(d)/spec.CPU.FlopsPerCPE, slow)
+					unit.Record(obs.KindCompute, t0, c.Clock().Now(), 0, int64(d))
 				}
 			}
 			// Combine slice sums across the groups: recursive doubling
@@ -217,6 +225,7 @@ func RunLevel2CG(spec *machine.Spec, src dataset.Source, initial []float64, mgro
 			}
 		}
 	})
+	mesh.FinishObserved()
 	if err := runFail.get(); err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ldm"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/regcomm"
 	"repro/internal/trace"
 )
@@ -28,10 +29,11 @@ import (
 // all three partition dimensions realized on the actual substrates.
 // The coarse engine in internal/core is the scalable equivalent; the
 // test suite checks both produce sequential Lloyd's clustering.
-func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, mPrime, batch, maxIters int, tolerance float64) (*Result, error) {
+func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, mPrime, batch, maxIters int, tolerance float64, opts ...Option) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	opt := applyOpts(opts)
 	if mPrime < 1 || mPrime > spec.CGs() {
 		return nil, fmt.Errorf("sw26010: m'group must be in [1,%d], got %d", spec.CGs(), mPrime)
 	}
@@ -55,6 +57,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 	if err != nil {
 		return nil, err
 	}
+	world.SetObserver(opt.rec)
 	engine, err := dma.New(spec, stats)
 	if err != nil {
 		return nil, err
@@ -77,6 +80,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 		// mesh clocks start from the rank's clock so both time lines
 		// agree.
 		mesh := regcomm.NewMesh(spec, stats)
+		mesh.SetObserver(opt.rec, fmt.Sprintf("cg%d/", pos))
 
 		// Per-CPE persistent state across iterations, prepared by the
 		// mesh kernel on first use: centroid stripes and stripe sums.
@@ -103,6 +107,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 			fail := meshFail.set
 			// Phase A (on the mesh): load stripes, zero sums.
 			mesh.Run(func(cp *regcomm.CPE) {
+				engine := engine.WithObserver(mesh.Unit(cp.ID()))
 				uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
 				dStripe := uHi - uLo
 				st := states[cp.ID()]
@@ -147,6 +152,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 			for base := 0; base < n; base += batch {
 				m := min(batch, n-base)
 				mesh.Run(func(cp *regcomm.CPE) {
+					unit := mesh.Unit(cp.ID())
+					engine := engine.WithObserver(unit)
 					uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
 					dStripe := uHi - uLo
 					st := states[cp.ID()]
@@ -167,7 +174,10 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 					}
 					if dStripe > 0 && kLocal > 0 {
 						stats.AddFlops(int64(m) * int64(kLocal) * int64(3*dStripe))
+						t0 := cp.Clock().Now()
 						cp.Clock().Advance(float64(m*kLocal*3*dStripe) / spec.CPU.FlopsPerCPE)
+						unit.Record(obs.KindCompute, t0, cp.Clock().Now(), 0,
+							int64(m)*int64(kLocal)*int64(3*dStripe))
 					}
 					if kLocal > 0 {
 						if err := cp.AllReduce(part, nil); err != nil {
@@ -220,6 +230,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 				// result gates the accumulation).
 				syncMesh(mesh, c.Clock().Now())
 				mesh.Run(func(cp *regcomm.CPE) {
+					unit := mesh.Unit(cp.ID())
 					uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
 					dStripe := uHi - uLo
 					st := states[cp.ID()]
@@ -236,7 +247,9 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 						}
 					}
 					if dStripe > 0 {
+						t0 := cp.Clock().Now()
 						cp.Clock().Advance(float64(m*dStripe) / spec.CPU.FlopsPerCPE)
+						unit.Record(obs.KindCompute, t0, cp.Clock().Now(), 0, int64(m)*int64(dStripe))
 					}
 				})
 				if err := meshFail.get(); err != nil {
@@ -249,6 +262,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 			var movementMu sync.Mutex
 			movement := 0.0
 			mesh.Run(func(cp *regcomm.CPE) {
+				engine := engine.WithObserver(mesh.Unit(cp.ID()))
 				uLo, uHi := share(d, machine.CPEsPerCG, cp.ID())
 				dStripe := uHi - uLo
 				st := states[cp.ID()]
@@ -295,6 +309,8 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 				break
 			}
 		}
+		mesh.FinishObserved()
+		c.Obs().Finish(c.Clock().Now())
 		slices[pos] = cents
 		return nil
 	})

@@ -1,0 +1,107 @@
+package sw26010
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// cpeTilingSum asserts the unit's spans tile [0, EndTime] contiguously
+// and returns the summed durations.
+func cpeTilingSum(t *testing.T, u *obs.Unit) float64 {
+	t.Helper()
+	cursor, sum := 0.0, 0.0
+	for _, s := range u.Spans() {
+		//swlint:ignore float-eq tiling carries exact timestamps forward; drift is a bug
+		if s.Start != cursor {
+			t.Fatalf("unit %s: span %s starts at %.17g, cursor at %.17g", u.Name(), s.Kind, s.Start, cursor)
+		}
+		cursor = s.End
+		sum += s.Duration()
+	}
+	return sum
+}
+
+// TestFineGrainedObserver: the CPE-granularity drivers record one lane
+// per CPE whose span durations sum to the CPE's final clock within
+// 1e-9, and observed runs match unobserved runs exactly.
+func TestFineGrainedObserver(t *testing.T) {
+	g := mixture(t, 256, 8, 4)
+	spec := machine.MustSpec(1)
+	init, err := core.InitialCentroids(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type runner struct {
+		name  string
+		units int
+		run   func(rec *obs.Recorder) (*Result, error)
+	}
+	for _, rn := range []runner{
+		{"level1", machine.CPEsPerCG, func(rec *obs.Recorder) (*Result, error) {
+			return RunLevel1CG(spec, g, init, 6, 0, WithObserver(rec))
+		}},
+		{"level2", machine.CPEsPerCG, func(rec *obs.Recorder) (*Result, error) {
+			return RunLevel2CG(spec, g, init, 8, 6, 0, WithObserver(rec))
+		}},
+		// Level 3 adds one MPE lane per CG group to the CPE lanes.
+		{"level3", 2*machine.CPEsPerCG + 2, func(rec *obs.Recorder) (*Result, error) {
+			return RunLevel3Group(spec, g, init, 2, 64, 6, 0, WithObserver(rec))
+		}},
+	} {
+		rec := obs.NewRecorder()
+		res, err := rn.run(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", rn.name, err)
+		}
+		units := rec.Units()
+		if len(units) != rn.units {
+			var names []string
+			for _, u := range units {
+				names = append(names, u.Name())
+			}
+			t.Fatalf("%s: %d units, want %d: %s", rn.name, len(units), rn.units, strings.Join(names, " "))
+		}
+		for _, u := range units {
+			sum := cpeTilingSum(t, u)
+			if math.Abs(sum-u.EndTime()) > 1e-9 {
+				t.Errorf("%s: unit %s durations sum to %.12g, clock at %.12g", rn.name, u.Name(), sum, u.EndTime())
+			}
+		}
+		plain, err := rn.run(nil)
+		if err != nil {
+			t.Fatalf("%s unobserved: %v", rn.name, err)
+		}
+		if plain.Iters != res.Iters {
+			t.Errorf("%s: observer changed iteration count %d -> %d", rn.name, plain.Iters, res.Iters)
+		}
+		for i := range plain.Centroids {
+			//swlint:ignore float-eq observation must not perturb the simulation at all; bitwise equality is the contract
+			if plain.Centroids[i] != res.Centroids[i] {
+				t.Fatalf("%s: observer changed centroid %d", rn.name, i)
+			}
+		}
+
+		// Determinism: a second observed run exports byte-identically.
+		rec2 := obs.NewRecorder()
+		if _, err := rn.run(rec2); err != nil {
+			t.Fatal(err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := obs.WriteTraceEvents(&b1, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteTraceEvents(&b2, rec2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: repeated runs export different traces", rn.name)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package sw26010
 
-import "repro/internal/fault"
+import (
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
 
 // Option configures a fine-grained CG run without widening the core
 // entry-point signatures for every fault-free caller.
@@ -9,6 +12,7 @@ type Option func(*runOpts)
 type runOpts struct {
 	inj *fault.Injector
 	cg  int
+	rec *obs.Recorder
 }
 
 // WithFaults makes the run consult the injector, attributing its
@@ -21,6 +25,17 @@ func WithFaults(inj *fault.Injector, cg int) Option {
 	return func(o *runOpts) {
 		o.inj = inj
 		o.cg = cg
+	}
+}
+
+// WithObserver makes the run record spans on the recorder: one unit
+// per CPE ("cpe/<i>", prefixed with "cg<pos>/" when several CGs run)
+// carrying its dma, compute and regcomm phases, plus the MPI timeline
+// of each managing processing element at Level 3. A nil recorder is a
+// no-op.
+func WithObserver(rec *obs.Recorder) Option {
+	return func(o *runOpts) {
+		o.rec = rec
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dma"
 	"repro/internal/ldm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/regcomm"
 	"repro/internal/trace"
 )
@@ -60,6 +61,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 
 	stats := trace.NewStats()
 	mesh := regcomm.NewMesh(spec, stats)
+	mesh.SetObserver(opt.rec, "")
 	engine, err := dma.New(spec, stats)
 	if err != nil {
 		return nil, err
@@ -90,6 +92,8 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 	iters := newTimeline(maxIters)
 
 	mesh.Run(func(c *regcomm.CPE) {
+		unit := mesh.Unit(c.ID())
+		engine := engine.WithObserver(unit)
 		// Explicit LDM allocation: one whole sample chunk, the full
 		// centroid set, the accumulated vector sums and the counters —
 		// exactly the working set of constraint C1.
@@ -156,7 +160,9 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 					counts[best]++
 					stats.AddFlops(int64(d) * int64(3*k+1))
 				}
+				t0 := c.Clock().Now()
 				c.Clock().AdvanceScaled(float64(m*d*(3*k+1))/spec.CPU.FlopsPerCPE, slow)
+				unit.Record(obs.KindCompute, t0, c.Clock().Now(), 0, int64(m*d)*int64(3*k+1))
 			}
 			// The two AllReduce operations of Algorithm 1 line 14, as
 			// one fused register-communication allreduce.
@@ -206,6 +212,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 			}
 		}
 	})
+	mesh.FinishObserved()
 	if err := runFail.get(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -93,6 +94,101 @@ func TestSnapshotSubAdd(t *testing.T) {
 	}
 	if got := d.Add(b); got != a {
 		t.Errorf("Add(Sub) = %+v, want %+v", got, a)
+	}
+}
+
+// fillSnapshot populates every Snapshot field with a distinct value
+// derived from base via reflection, so a field added to the struct but
+// forgotten in Add or Sub fails the round-trip tests below. All values
+// are exactly representable binary fractions, keeping float equality
+// exact.
+func fillSnapshot(t *testing.T, base int) Snapshot {
+	t.Helper()
+	var s Snapshot
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			f.SetInt(int64(base + i))
+		case reflect.Float64:
+			f.SetFloat(float64(base) + float64(i)/2)
+		default:
+			t.Fatalf("Snapshot field %s has unhandled kind %v; extend fillSnapshot and the arithmetic tests",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return s
+}
+
+func TestSnapshotArithmeticEveryField(t *testing.T) {
+	a, b := fillSnapshot(t, 1000), fillSnapshot(t, 3)
+	d := a.Sub(b)
+	dv, av, bv := reflect.ValueOf(d), reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < dv.NumField(); i++ {
+		name := dv.Type().Field(i).Name
+		switch dv.Field(i).Kind() {
+		case reflect.Int64:
+			if got, want := dv.Field(i).Int(), av.Field(i).Int()-bv.Field(i).Int(); got != want {
+				t.Errorf("Sub dropped field %s: got %d, want %d", name, got, want)
+			}
+		case reflect.Float64:
+			//swlint:ignore float-eq exactly representable binary fractions subtract without rounding
+			if got, want := dv.Field(i).Float(), av.Field(i).Float()-bv.Field(i).Float(); got != want {
+				t.Errorf("Sub dropped field %s: got %g, want %g", name, got, want)
+			}
+		}
+	}
+	if got := a.Sub(b).Add(b); got != a {
+		t.Errorf("Sub then Add round-trip = %+v, want %+v", got, a)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add then Sub round-trip = %+v, want %+v", got, a)
+	}
+	if got := a.Sub(Snapshot{}); got != a {
+		t.Errorf("Sub of zero changed the snapshot: %+v", got)
+	}
+	if got := (Snapshot{}).Add(a); got != a {
+		t.Errorf("Add to zero changed the snapshot: %+v", got)
+	}
+}
+
+func TestHasRecoveryPartiallyPopulated(t *testing.T) {
+	// Each recovery counter alone must flip HasRecovery.
+	positives := []Snapshot{
+		{DMARetries: 1},
+		{NetRetries: 1},
+		{Checkpoints: 1},
+		{Replans: 1},
+		{RetrySeconds: 0.5},
+		{CheckpointSeconds: 0.5},
+		{RestoreSeconds: 0.5},
+		{ReplanSeconds: 0.5},
+		{RedoSeconds: 0.5},
+	}
+	for _, s := range positives {
+		if !s.HasRecovery() {
+			t.Errorf("HasRecovery() = false for %+v", s)
+		}
+	}
+	// Traffic-only snapshots are not recovery.
+	negatives := []Snapshot{
+		{},
+		{DMABytes: 1 << 20, DMATransfers: 7, RegBytes: 9, NetBytes: 2, NetMessages: 1, Flops: 1e9},
+	}
+	for _, s := range negatives {
+		if s.HasRecovery() {
+			t.Errorf("HasRecovery() = true for fault-free snapshot %+v", s)
+		}
+	}
+}
+
+func TestRecoveryStringPartiallyPopulated(t *testing.T) {
+	s := Snapshot{Checkpoints: 3, CheckpointBytes: 3 * 1024, CheckpointSeconds: 0.25, RedoSeconds: 1.5}
+	str := s.RecoveryString()
+	for _, tok := range []string{"ckpt=3(3.0KiB,0.250000s)", "redo=1.500000s", "restore=0.000000s", "replan=0(0.000000s)", "dma:0,net:0"} {
+		if !strings.Contains(str, tok) {
+			t.Errorf("RecoveryString() = %q, missing %q", str, tok)
+		}
 	}
 }
 
