@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race faultcheck obscheck
+.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck
 
 # check is the full gate: build, vet, swlint, tests under the race
 # detector, the fault-injection smoke matrix, and the trace-export
@@ -18,6 +18,16 @@ vet:
 
 lint:
 	$(GO) run ./cmd/swlint ./...
+
+# lint-fix applies swlint's mechanical repairs (sorted-key map walks,
+# %v → %w on error operands) in place, then re-checks.
+lint-fix:
+	$(GO) run ./cmd/swlint -fix ./...
+
+# lint-sarif writes the findings as SARIF 2.1.0 for code-scanning
+# upload; the report is written even when findings make the run fail.
+lint-sarif:
+	$(GO) run ./cmd/swlint -format sarif ./... > swlint.sarif; test $$? -le 1
 
 test:
 	$(GO) test ./...

@@ -7,7 +7,15 @@
 //
 //	go run ./cmd/swlint ./...
 //	go run ./cmd/swlint ./internal/mpi ./internal/vclock
+//	go run ./cmd/swlint -format sarif ./... > swlint.sarif
+//	go run ./cmd/swlint -fix ./...
+//	go run ./cmd/swlint -update-baseline ./...
 //	go run ./cmd/swlint -list
+//
+// Findings recorded in .swlint-baseline.json at the module root are
+// filtered out (disable with -no-baseline); -update-baseline rewrites
+// the file from the current findings. Results are cached under
+// .swlint-cache/ keyed by package content (disable with -no-cache).
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on
 // load or usage errors.
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
@@ -30,11 +39,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the rules and exit")
+	format := fs.String("format", "text", "output format: text or sarif")
+	baselinePath := fs.String("baseline", "", "baseline file (default: .swlint-baseline.json at the module root)")
+	noBaseline := fs.Bool("no-baseline", false, "report all findings, ignoring the baseline")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline from the current findings and exit")
+	fix := fs.Bool("fix", false, "apply available mechanical fixes, then report what remains")
+	jobs := fs.Int("jobs", 0, "packages analyzed concurrently (0 = GOMAXPROCS)")
+	noCache := fs.Bool("no-cache", false, "disable the on-disk result cache")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: swlint [-list] <package patterns>")
+		fmt.Fprintln(stderr, "usage: swlint [flags] <package patterns>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "swlint: unknown format %q (want text or sarif)\n", *format)
 		return 2
 	}
 
@@ -51,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, r := range lint.AllRules(cfg) {
-			fmt.Fprintf(stdout, "%-14s %s\n", r.ID(), r.Doc())
+			fmt.Fprintf(stdout, "%-18s %s\n", r.ID(), r.Doc())
 		}
 		return 0
 	}
@@ -61,13 +81,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	findings, err := lint.Run(cfg, patterns)
+
+	opts := lint.RunOptions{Jobs: *jobs}
+	if !*noCache {
+		opts.CacheDir = lint.DefaultCacheDir(cfg.ModuleRoot)
+	}
+	findings, err := lint.RunWithOptions(cfg, patterns, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "swlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+
+	if *fix {
+		changed, applied, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "swlint:", err)
+			return 2
+		}
+		for _, name := range changed {
+			fmt.Fprintf(stderr, "swlint: fixed %s\n", name)
+		}
+		if len(changed) > 0 {
+			fmt.Fprintf(stderr, "swlint: applied %d fix(es) across %d file(s)\n", len(applied), len(changed))
+			// Rewritten files invalidate this run's findings (and the
+			// cache entries of every dependent); re-analyze to report
+			// what the fixes did not cover.
+			findings, err = lint.RunWithOptions(cfg, patterns, opts)
+			if err != nil {
+				fmt.Fprintln(stderr, "swlint:", err)
+				return 2
+			}
+		}
+	}
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(cfg.ModuleRoot, lint.BaselineFile)
+	}
+
+	if *updateBaseline {
+		prev, err := lint.LoadBaseline(bpath)
+		if err != nil {
+			fmt.Fprintln(stderr, "swlint:", err)
+			return 2
+		}
+		next := lint.UpdateBaseline(prev, findings, cfg.ModuleRoot)
+		if err := next.Save(bpath); err != nil {
+			fmt.Fprintln(stderr, "swlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "swlint: wrote %d baseline entry(s) to %s\n", len(next.Entries), bpath)
+		return 0
+	}
+
+	if !*noBaseline {
+		b, err := lint.LoadBaseline(bpath)
+		if err != nil {
+			fmt.Fprintln(stderr, "swlint:", err)
+			return 2
+		}
+		var stale []lint.BaselineEntry
+		findings, stale = b.Filter(findings, cfg.ModuleRoot)
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "swlint: stale baseline entry (%s in %s) matches nothing; run -update-baseline\n", e.Rule, e.File)
+		}
+	}
+
+	if *format == "sarif" {
+		if err := lint.WriteSARIF(stdout, findings, lint.AllRules(cfg), cfg.ModuleRoot); err != nil {
+			fmt.Fprintln(stderr, "swlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "swlint: %d finding(s)\n", len(findings))

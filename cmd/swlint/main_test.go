@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -14,7 +15,10 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
 	}
-	for _, id := range []string{"no-wallclock", "float-eq", "guarded-field", "err-wrap", "ldm-capacity"} {
+	for _, id := range []string{
+		"no-wallclock", "float-eq", "guarded-field", "err-wrap", "ldm-capacity",
+		"map-order", "collective-match", "goroutine-purity", "bad-suppress", "unused-suppress",
+	} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing rule %s:\n%s", id, stdout.String())
 		}
@@ -31,9 +35,16 @@ func TestUsageOnNoPatterns(t *testing.T) {
 	}
 }
 
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "xml", "./internal/vclock"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown format exited %d, want 2", code)
+	}
+}
+
 func TestCleanPackageExitsZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"./internal/vclock"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-no-cache", "./internal/vclock"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("clean package exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
 	if stdout.Len() != 0 {
@@ -51,7 +62,7 @@ func TestSeededViolationExitsNonZero(t *testing.T) {
 	}
 	fixture := filepath.Join(cfg.ModuleRoot, "internal", "lint", "testdata", "src", "floateq")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{fixture}, &stdout, &stderr); code != 1 {
+	if code := run([]string{"-no-cache", "-no-baseline", fixture}, &stdout, &stderr); code != 1 {
 		t.Fatalf("seeded violations exited %d, want 1\nstdout: %s\nstderr: %s",
 			code, stdout.String(), stderr.String())
 	}
@@ -61,5 +72,62 @@ func TestSeededViolationExitsNonZero(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "finding(s)") {
 		t.Errorf("expected finding count on stderr, got: %s", stderr.String())
+	}
+}
+
+// TestSARIFOutput pins the -format sarif path: findings still exit 1,
+// and stdout is a valid SARIF 2.1.0 document naming the rule.
+func TestSARIFOutput(t *testing.T) {
+	cfg, err := lint.DefaultConfig(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(cfg.ModuleRoot, "internal", "lint", "testdata", "src", "floateq")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-cache", "-no-baseline", "-format", "sarif", fixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("sarif run exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 || doc.Runs[0].Results[0].RuleID != "float-eq" {
+		t.Errorf("unexpected results: %+v", doc.Runs)
+	}
+}
+
+// TestBaselineFlow pins -update-baseline and -baseline: recording the
+// seeded findings makes the next run exit clean.
+func TestBaselineFlow(t *testing.T) {
+	cfg, err := lint.DefaultConfig(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(cfg.ModuleRoot, "internal", "lint", "testdata", "src", "floateq")
+	bpath := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-cache", "-baseline", bpath, "-update-baseline", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-update-baseline exited %d\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-no-cache", "-baseline", bpath, fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exited %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("baselined run still reports findings:\n%s", stdout.String())
 	}
 }

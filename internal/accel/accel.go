@@ -310,7 +310,7 @@ func Elkan(src dataset.Source, initial []float64, maxIters int, tolerance float6
 				dd := dist(buf, cents[j*d:(j+1)*d])
 				res.Counters.Distances++
 				lower[i*k+j] = dd
-				//swlint:ignore float-eq exact distance tie breaks to the lowest index for run determinism
+				//swlint:ignore float-eq -- exact distance tie breaks to the lowest index for run determinism
 				if dd < upper[i] || (dd == upper[i] && j < a) {
 					moveSample(sums, counts, buf, a, j, d)
 					a = j

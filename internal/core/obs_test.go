@@ -20,7 +20,7 @@ func checkTiling(t *testing.T, u *obs.Unit) float64 {
 	t.Helper()
 	cursor, sum := 0.0, 0.0
 	for _, s := range u.Spans() {
-		//swlint:ignore float-eq the tiling invariant carries exact timestamps; drift is a bug
+		//swlint:ignore float-eq -- the tiling invariant carries exact timestamps; drift is a bug
 		if s.Start != cursor {
 			t.Fatalf("unit %s: span %s starts at %.17g, cursor at %.17g", u.Name(), s.Kind, s.Start, cursor)
 		}

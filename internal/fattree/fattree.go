@@ -159,7 +159,7 @@ func (m *Model) ContentionFactor(first, count, elems, concurrent int) (float64, 
 		plain += t
 	}
 	plain *= 2
-	//swlint:ignore float-eq exact zero means no flows were modelled; any traffic yields a strictly positive sum
+	//swlint:ignore float-eq -- exact zero means no flows were modelled; any traffic yields a strictly positive sum
 	if plain == 0 {
 		return 1, nil
 	}

@@ -102,7 +102,7 @@ const (
 
 // Empty reports whether the plan injects nothing at all.
 func (p Plan) Empty() bool {
-	//swlint:ignore float-eq an exactly-zero rate is the unset sentinel of the zero Plan, not a computed value
+	//swlint:ignore float-eq -- an exactly-zero rate is the unset sentinel of the zero Plan, not a computed value
 	return len(p.Crashes) == 0 && p.DMAFailRate == 0 && p.MsgFailRate == 0 &&
 		len(p.Links) == 0 && len(p.Stragglers) == 0
 }
@@ -113,11 +113,11 @@ func (p Plan) withDefaults() Plan {
 	if p.MaxRetries == 0 {
 		p.MaxRetries = DefaultMaxRetries
 	}
-	//swlint:ignore float-eq exactly zero marks the knob unset; any positive value is honoured
+	//swlint:ignore float-eq -- exactly zero marks the knob unset; any positive value is honoured
 	if p.RetryBackoff == 0 {
 		p.RetryBackoff = DefaultRetryBackoff
 	}
-	//swlint:ignore float-eq exactly zero marks the knob unset; any positive value is honoured
+	//swlint:ignore float-eq -- exactly zero marks the knob unset; any positive value is honoured
 	if p.HeartbeatTimeout == 0 {
 		p.HeartbeatTimeout = DefaultHeartbeatTimeout
 	}
@@ -286,7 +286,7 @@ func (inj *Injector) DMAFault(cg int, at float64, elems, attempt int) bool {
 // budget per transfer. The second return is the number of transfers
 // that exhausted the budget and failed permanently.
 func (inj *Injector) DMARetryCount(cg int, at float64, elems, transfers int) (retries, permanent int) {
-	//swlint:ignore float-eq a rate of exactly zero (the unset sentinel) skips the per-transfer fold
+	//swlint:ignore float-eq -- a rate of exactly zero (the unset sentinel) skips the per-transfer fold
 	if inj.plan.DMAFailRate == 0 {
 		return 0, 0
 	}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a checked-in ledger of known findings that lets a
+// new rule land while its backlog is burned down, without suppressing
+// anything in source. A baseline entry matches a finding by rule, file
+// (module-root-relative) and message — deliberately NOT by line, so
+// unrelated edits above a known finding do not break CI. Matching is
+// multiset: two identical findings need two entries. Every entry
+// carries a mandatory reason, mirroring the suppression policy: the
+// reason is the reviewable claim about why the finding is tolerated.
+//
+// Entries that match no finding are stale; Filter reports them so the
+// ledger shrinks as the backlog is fixed.
+
+// BaselineFile is the conventional baseline filename at the module root.
+const BaselineFile = ".swlint-baseline.json"
+
+// BaselineEntry is one tolerated finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Reason  string `json:"reason"`
+}
+
+// Baseline is the checked-in set of tolerated findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so fresh checkouts work before the first
+// -update-baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{}, nil
+		}
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Rule == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("%s: entry %d is missing rule, file, or message", path, i)
+		}
+		if strings.TrimSpace(e.Reason) == "" {
+			return nil, fmt.Errorf("%s: entry %d (%s in %s) has no reason; baseline entries must say why the finding is tolerated", path, i, e.Rule, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// baselineKey identifies a finding for baseline matching.
+func baselineKey(rule, file, message string) string {
+	return rule + "\x00" + filepath.ToSlash(file) + "\x00" + message
+}
+
+// relFile renders a finding's filename relative to the module root.
+func relFile(filename, moduleRoot string) string {
+	if moduleRoot != "" {
+		if rel, err := filepath.Rel(moduleRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Filter removes findings covered by the baseline (multiset: each
+// entry absorbs one finding) and returns the survivors plus the stale
+// entries that matched nothing. Bad-suppress and unused-suppress
+// findings are never baselined — they are findings about the
+// suppression ledger itself and must be fixed, not deferred.
+func (b *Baseline) Filter(findings []Finding, moduleRoot string) (kept []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey(e.Rule, e.File, e.Message)]++
+	}
+	for _, f := range findings {
+		if f.RuleID != BadSuppressID && f.RuleID != UnusedSuppressID {
+			k := baselineKey(f.RuleID, relFile(f.Pos.Filename, moduleRoot), f.Message)
+			if budget[k] > 0 {
+				budget[k]--
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey(e.Rule, e.File, e.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// UpdateBaseline builds a fresh baseline from the current findings,
+// carrying forward reasons from prior entries that still match and
+// stamping new entries with a placeholder reason the developer must
+// edit before the file passes review.
+func UpdateBaseline(prev *Baseline, findings []Finding, moduleRoot string) *Baseline {
+	reasons := make(map[string][]string)
+	for _, e := range prev.Entries {
+		k := baselineKey(e.Rule, e.File, e.Message)
+		reasons[k] = append(reasons[k], e.Reason)
+	}
+	next := &Baseline{}
+	for _, f := range findings {
+		if f.RuleID == BadSuppressID || f.RuleID == UnusedSuppressID {
+			continue
+		}
+		file := relFile(f.Pos.Filename, moduleRoot)
+		k := baselineKey(f.RuleID, file, f.Message)
+		reason := "TODO: justify or fix"
+		if rs := reasons[k]; len(rs) > 0 {
+			reason = rs[0]
+			reasons[k] = rs[1:]
+		}
+		next.Entries = append(next.Entries, BaselineEntry{
+			Rule:    f.RuleID,
+			File:    file,
+			Message: f.Message,
+			Reason:  reason,
+		})
+	}
+	sort.Slice(next.Entries, func(i, j int) bool {
+		a, b := next.Entries[i], next.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return next
+}
+
+// Write renders the baseline as stable, diff-friendly JSON. An empty
+// baseline serializes as an explicit empty list, not null, so the
+// checked-in file reads as "no tolerated findings".
+func (b *Baseline) Write(w io.Writer) error {
+	out := *b
+	if out.Entries == nil {
+		out.Entries = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// Save writes the baseline to path.
+func (b *Baseline) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in one file. Offsets index
+// the file's raw bytes; Start == End inserts.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// Fix is a mechanical repair attached to a finding. Fixes are
+// suggestions: they are only applied under the CLI's -fix flag, and a
+// fixed tree must lint clean (applying the full fix set twice is a
+// no-op — the first pass removes every fixable finding).
+type Fix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// fileSources caches raw file contents during one rule pass so fix
+// construction reads each file once.
+type fileSources struct {
+	byName map[string][]byte
+}
+
+func newFileSources(p *Package) *fileSources {
+	return &fileSources{byName: make(map[string][]byte)}
+}
+
+func (fs *fileSources) source(name string) ([]byte, error) {
+	if b, ok := fs.byName[name]; ok {
+		return b, nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.byName[name] = b
+	return b, nil
+}
+
+// ApplyFixes applies every finding's fix to the files on disk and
+// returns the filenames written and the findings whose fixes were
+// applied. Identical edits (several findings inserting the same import)
+// collapse; overlapping distinct edits are a conflict and the later
+// finding's fix is skipped, left for a second -fix run after the first
+// rewrite lands.
+func ApplyFixes(findings []Finding) (changed []string, applied []Finding, err error) {
+	type edit struct {
+		TextEdit
+		order int
+	}
+	perFile := make(map[string][]edit)
+	fixable := make([]Finding, 0, len(findings))
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		fixable = append(fixable, f)
+		for _, e := range f.Fix.Edits {
+			perFile[e.Filename] = append(perFile[e.Filename], edit{e, len(fixable) - 1})
+		}
+	}
+	if len(perFile) == 0 {
+		return nil, nil, nil
+	}
+	skipped := make(map[int]bool)
+	for name, edits := range perFile {
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Collapse exact duplicates, then detect overlaps.
+		kept := edits[:0]
+		for _, e := range edits {
+			if len(kept) > 0 {
+				last := kept[len(kept)-1]
+				if last.TextEdit == e.TextEdit {
+					continue
+				}
+				if e.Start < last.End {
+					skipped[e.order] = true
+					continue
+				}
+			}
+			kept = append(kept, e)
+		}
+		perFile[name] = kept
+	}
+	for name, edits := range perFile {
+		src, rerr := os.ReadFile(name)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("lint: applying fixes: %w", rerr)
+		}
+		out := make([]byte, 0, len(src))
+		prev := 0
+		ok := true
+		for _, e := range edits {
+			if skipped[e.order] {
+				continue
+			}
+			if e.Start < prev || e.End > len(src) {
+				ok = false
+				skipped[e.order] = true
+				continue
+			}
+			out = append(out, src[prev:e.Start]...)
+			out = append(out, e.NewText...)
+			prev = e.End
+		}
+		out = append(out, src[prev:]...)
+		if !ok && len(out) == len(src) {
+			continue
+		}
+		if werr := os.WriteFile(name, out, 0o644); werr != nil {
+			return nil, nil, fmt.Errorf("lint: applying fixes: %w", werr)
+		}
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	for i, f := range fixable {
+		if !skipped[i] {
+			applied = append(applied, f)
+		}
+	}
+	return changed, applied, nil
+}

@@ -12,14 +12,24 @@
 // one of those invariants; docs/STATIC_ANALYSIS.md ties every rule to
 // the paper section it protects.
 //
+// Beyond the per-file syntactic rules, the package carries a
+// lightweight function-level dataflow engine (dataflow.go) powering
+// the semantic rules map-order, collective-match and goroutine-purity,
+// plus the tooling layer of a real analyzer: SARIF 2.1.0 export
+// (sarif.go), a checked-in findings baseline (baseline.go), mechanical
+// autofixes (fix.go) and a content-hash keyed result cache with
+// parallel per-package analysis (cache.go).
+//
 // The package is stdlib-only (go/parser + go/types with a source
 // importer); go.mod stays dependency-free. Rules are unit-testable
 // against fixture trees under testdata/, and every finding can be
 // suppressed at the offending line with:
 //
-//	//swlint:ignore <rule>[,<rule>...] [reason]
+//	//swlint:ignore <rule>[,<rule>...] -- <reason>
 //
-// either on the same line or on the line directly above.
+// either on the same line or on the line directly above. The rule list
+// and reason are mandatory; malformed and stale suppressions are
+// themselves findings (bad-suppress, unused-suppress).
 package lint
 
 import (
@@ -29,11 +39,13 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at one source position.
+// Finding is one rule violation at one source position. A finding may
+// carry a mechanical Fix, applied only under the CLI's -fix flag.
 type Finding struct {
 	RuleID  string
 	Pos     token.Position
 	Message string
+	Fix     *Fix
 }
 
 // String renders the finding in the conventional file:line:col form
@@ -70,6 +82,11 @@ type Config struct {
 	// without routing through it (rule ldm-capacity).
 	LDMPackage     string
 	CapacityExempt []string
+	// CommPackage and VClockPackage locate the communicator and
+	// virtual-clock types for the dataflow rules (collective-match,
+	// map-order).
+	CommPackage   string
+	VClockPackage string
 	// Rules is the rule set to run. Empty means AllRules(cfg).
 	Rules []Rule
 }
@@ -88,6 +105,8 @@ var simPackageSuffixes = []string{
 	"internal/netmodel",
 	"internal/fault",
 	"internal/obs",
+	"internal/fattree",
+	"internal/stream",
 }
 
 // DefaultConfig locates go.mod at or above dir and returns the
@@ -98,9 +117,11 @@ func DefaultConfig(dir string) (Config, error) {
 		return Config{}, err
 	}
 	cfg := Config{
-		ModuleRoot: root,
-		ModulePath: module,
-		LDMPackage: module + "/internal/ldm",
+		ModuleRoot:    root,
+		ModulePath:    module,
+		LDMPackage:    module + "/internal/ldm",
+		CommPackage:   module + "/internal/mpi",
+		VClockPackage: module + "/internal/vclock",
 		CapacityExempt: []string{
 			module + "/internal/ldm",
 			module + "/internal/machine",
@@ -112,7 +133,9 @@ func DefaultConfig(dir string) (Config, error) {
 	return cfg, nil
 }
 
-// AllRules returns the full rule set parameterized by cfg.
+// AllRules returns the full rule set parameterized by cfg: the five
+// syntactic rules, the three dataflow rules, and the two pseudo-rules
+// the suppression machinery reports through.
 func AllRules(cfg Config) []Rule {
 	return []Rule{
 		NoWallclockRule{SimPackages: cfg.SimPackages},
@@ -120,35 +143,47 @@ func AllRules(cfg Config) []Rule {
 		GuardedFieldRule{},
 		ErrWrapRule{},
 		LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
+		MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage},
+		CollectiveMatchRule{CommPackage: cfg.CommPackage},
+		GoroutinePurityRule{SimPackages: cfg.SimPackages},
+		metaRule{id: BadSuppressID, doc: "suppressions must name rules and carry a reason: //swlint:ignore <rule> -- <reason>"},
+		metaRule{id: UnusedSuppressID, doc: "suppressions that match no finding are stale and must be deleted"},
 	}
 }
+
+// metaRule is a pseudo-rule: it produces no findings of its own (the
+// suppression machinery emits them) but gives the ID a place in the
+// rule listing and the SARIF rule table. Meta findings cannot be
+// suppressed.
+type metaRule struct{ id, doc string }
+
+// ID implements Rule.
+func (m metaRule) ID() string { return m.id }
+
+// Doc implements Rule.
+func (m metaRule) Doc() string { return m.doc }
+
+// Check implements Rule.
+func (m metaRule) Check(*Package) []Finding { return nil }
 
 // Run loads the packages selected by patterns, runs every rule and
 // returns the surviving (non-suppressed) findings sorted by position.
+// Packages are analyzed in parallel; see RunWithOptions for caching.
 func Run(cfg Config, patterns []string) ([]Finding, error) {
-	loader := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
-	pkgs, err := loader.Load(patterns)
-	if err != nil {
-		return nil, err
-	}
-	rules := cfg.Rules
-	if len(rules) == 0 {
-		rules = AllRules(cfg)
-	}
-	var findings []Finding
-	for _, p := range pkgs {
-		findings = append(findings, CheckPackage(rules, p)...)
-	}
-	sortFindings(findings)
-	return findings, nil
+	return RunWithOptions(cfg, patterns, RunOptions{})
 }
 
-// CheckPackage runs the rules over one loaded package and filters
-// suppressed findings.
+// CheckPackage runs the rules over one loaded package, filters
+// suppressed findings, and appends the suppression machinery's own
+// findings (bad-suppress for malformed comments, unused-suppress for
+// stale ones — scoped to the rules actually run, so partial rule runs
+// do not misreport).
 func CheckPackage(rules []Rule, p *Package) []Finding {
 	sup := newSuppressions(p)
+	ran := make(map[string]bool, len(rules))
 	var out []Finding
 	for _, r := range rules {
+		ran[r.ID()] = true
 		for _, f := range r.Check(p) {
 			if sup.suppressed(f) {
 				continue
@@ -156,6 +191,7 @@ func CheckPackage(rules []Rule, p *Package) []Finding {
 			out = append(out, f)
 		}
 	}
+	out = append(out, sup.report(ran)...)
 	return out
 }
 

@@ -157,6 +157,51 @@ func TestRuleFixtures(t *testing.T) {
 			rule:    LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
 			want:    nil,
 		},
+		{
+			name:    "map-order flags order-sensitive effects and blesses sorted collection",
+			fixture: "maporder",
+			as:      cfg.ModulePath + "/internal/core",
+			rule:    MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage},
+			want: []expect{
+				{"map-order", "maporder.go", 12, "package variable counts"},
+				{"map-order", "maporder.go", 20, "append to slice out"},
+				{"map-order", "maporder.go", 40, "append to slice out"},
+				{"map-order", "maporder.go", 65, "channel send"},
+				{"map-order", "maporder.go", 86, "struct field total"},
+			},
+		},
+		{
+			name:    "map-order is silent outside the simulation packages",
+			fixture: "maporder",
+			as:      cfg.ModulePath + "/internal/report",
+			rule:    MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage},
+			want:    nil,
+		},
+		{
+			name:    "collective-match flags lone rank-conditional collectives",
+			fixture: "collective",
+			as:      cfg.ModulePath + "/internal/fixture/collective",
+			rule:    CollectiveMatchRule{CommPackage: cfg.CommPackage},
+			want: []expect{
+				{"collective-match", "collective.go", 13, "no matching Bcast"},
+				{"collective-match", "collective.go", 45, "no matching Barrier"},
+				{"collective-match", "collective.go", 53, "no matching Gather"},
+				{"collective-match", "collective.go", 85, "no matching Reduce"},
+			},
+		},
+		{
+			name:    "goroutine-purity flags order-sensitive fan-in, blesses scatter and guarded reduce",
+			fixture: "goroutine",
+			as:      cfg.ModulePath + "/internal/core",
+			rule:    GoroutinePurityRule{SimPackages: cfg.SimPackages},
+			want: []expect{
+				{"goroutine-purity", "goroutine.go", 19, "writes shared variable shared"},
+				{"goroutine-purity", "goroutine.go", 51, "select chooses pseudo-randomly"},
+				{"goroutine-purity", "goroutine.go", 64, "arrival order"},
+				{"goroutine-purity", "goroutine.go", 84, "arrival order"},
+				{"goroutine-purity", "goroutine.go", 120, "unguarded shared field n"},
+			},
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -167,10 +212,12 @@ func TestRuleFixtures(t *testing.T) {
 }
 
 // TestSuppressions proves the ignore machinery end to end: the raw
-// rule sees every seeded violation, and CheckPackage filters exactly
-// the ones carrying a matching //swlint:ignore — trailing, preceding
-// and comma-list forms — while wrong-rule, bare and out-of-range
-// comments suppress nothing.
+// rule sees every seeded violation; CheckPackage filters exactly the
+// ones carrying a well-formed matching //swlint:ignore — trailing,
+// preceding and comma-list forms — while wrong-rule, malformed and
+// out-of-range comments suppress nothing; and the machinery's own
+// bad-suppress/unused-suppress findings surface, scoped to the rules
+// that actually ran.
 func TestSuppressions(t *testing.T) {
 	_, cfg := fixtureLoader(t)
 	p := loadFixture(t, "suppress", cfg.ModulePath+"/internal/fixture/suppress")
@@ -181,15 +228,30 @@ func TestSuppressions(t *testing.T) {
 		{"float-eq", "suppress.go", 14, "floating-point"},
 		{"float-eq", "suppress.go", 20, "floating-point"},
 		{"float-eq", "suppress.go", 26, "floating-point"},
-		{"float-eq", "suppress.go", 32, "floating-point"},
-		{"float-eq", "suppress.go", 39, "floating-point"},
+		{"float-eq", "suppress.go", 33, "floating-point"},
+		{"float-eq", "suppress.go", 41, "floating-point"},
 	})
 
 	filtered := CheckPackage([]Rule{FloatEqRule{}}, p)
 	checkFindings(t, filtered, []expect{
-		{"float-eq", "suppress.go", 26, "floating-point"}, // wrong rule named
-		{"float-eq", "suppress.go", 32, "floating-point"}, // bare ignore
-		{"float-eq", "suppress.go", 39, "floating-point"}, // comment out of range
+		{"float-eq", "suppress.go", 26, "floating-point"},   // wrong rule named
+		{"bad-suppress", "suppress.go", 32, "malformed"},    // legacy reason-free form
+		{"float-eq", "suppress.go", 33, "floating-point"},   // malformed comment suppresses nothing
+		{"unused-suppress", "suppress.go", 39, "matched no"}, // out of range, so stale
+		{"float-eq", "suppress.go", 41, "floating-point"},   // comment out of range
+	})
+
+	// With err-wrap in the run, the err-wrap half of the comma-list
+	// comment is also reported stale; no-wallclock stays exempt because
+	// it did not run.
+	both := CheckPackage([]Rule{FloatEqRule{}, ErrWrapRule{}}, p)
+	checkFindings(t, both, []expect{
+		{"unused-suppress", "suppress.go", 19, "err-wrap"},
+		{"float-eq", "suppress.go", 26, "floating-point"},
+		{"bad-suppress", "suppress.go", 32, "malformed"},
+		{"float-eq", "suppress.go", 33, "floating-point"},
+		{"unused-suppress", "suppress.go", 39, "matched no"},
+		{"float-eq", "suppress.go", 41, "floating-point"},
 	})
 }
 
@@ -216,7 +278,7 @@ func TestDefaultConfig(t *testing.T) {
 			t.Errorf("SimPackages missing %s", sim)
 		}
 	}
-	if len(AllRules(cfg)) != 5 {
-		t.Errorf("AllRules returned %d rules, want 5", len(AllRules(cfg)))
+	if len(AllRules(cfg)) != 10 {
+		t.Errorf("AllRules returned %d rules, want 10", len(AllRules(cfg)))
 	}
 }

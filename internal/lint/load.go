@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for rule checking. Test
@@ -32,12 +33,28 @@ type Package struct {
 // library) goes through go/importer's source importer. One Loader
 // caches dependencies across Load calls, so loading the whole module
 // type-checks each stdlib package once.
+//
+// The loader is safe for concurrent LoadDir calls: Import deduplicates
+// in-flight work per path (first caller computes, others wait on the
+// entry's done channel), and the stdlib source importer — which makes
+// no concurrency promises — is serialized behind its own mutex. Import
+// recursion across distinct paths cannot deadlock because Go package
+// imports form a DAG.
 type Loader struct {
 	fset   *token.FileSet
 	root   string
 	module string
 	std    types.ImporterFrom
-	cache  map[string]*types.Package
+	stdMu  sync.Mutex
+	mu     sync.Mutex
+	cache  map[string]*importEntry
+}
+
+// importEntry is one per-path singleflight slot in the import cache.
+type importEntry struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader returns a loader for the module rooted at root with the
@@ -49,7 +66,7 @@ func NewLoader(root, module string) *Loader {
 		root:   root,
 		module: module,
 		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		cache:  make(map[string]*types.Package),
+		cache:  make(map[string]*importEntry),
 	}
 }
 
@@ -59,22 +76,28 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // Import implements types.Importer for dependency resolution during
 // type checking.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.cache[path]; ok {
-		return p, nil
+	l.mu.Lock()
+	if e, ok := l.cache[path]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
 	}
+	e := &importEntry{done: make(chan struct{})}
+	l.cache[path] = e
+	l.mu.Unlock()
+	defer close(e.done)
 	if path == l.module || strings.HasPrefix(path, l.module+"/") {
-		p, err := l.check(path, l.dirOf(path), nil)
-		if err != nil {
-			return nil, err
-		}
-		l.cache[path] = p
-		return p, nil
+		e.pkg, e.err = l.check(path, l.dirOf(path), nil)
+		return e.pkg, e.err
 	}
+	l.stdMu.Lock()
 	p, err := l.std.ImportFrom(path, l.root, 0)
+	l.stdMu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("lint: importing %s: %w", path, err)
+		e.err = fmt.Errorf("lint: importing %s: %w", path, err)
+		return nil, e.err
 	}
-	l.cache[path] = p
+	e.pkg = p
 	return p, nil
 }
 
@@ -171,9 +194,10 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return &Package{Fset: l.fset, Path: path, Dir: abs, Files: files, Info: info, Pkg: pkg}, nil
 }
 
-// Load resolves package patterns — "./...", "dir/...", or plain
-// directories, relative to the module root — into loaded packages.
-func (l *Loader) Load(patterns []string) ([]*Package, error) {
+// ResolveDirs expands package patterns — "./...", "dir/...", or plain
+// directories, relative to the module root — into a sorted list of
+// package directories.
+func (l *Loader) ResolveDirs(patterns []string) ([]string, error) {
 	dirs := make(map[string]bool)
 	for _, pat := range patterns {
 		switch {
@@ -203,6 +227,15 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
+	return sorted, nil
+}
+
+// Load resolves package patterns into loaded packages.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	sorted, err := l.ResolveDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
 	for _, d := range sorted {
 		p, err := l.LoadDir(d, "")

@@ -50,12 +50,16 @@ func (r ErrWrapRule) Check(p *Package) []Finding {
 				if t == nil || !types.Implements(t, errType) {
 					continue
 				}
-				out = append(out, Finding{
+				finding := Finding{
 					RuleID: r.ID(),
 					Pos:    p.Fset.Position(call.Args[argIdx].Pos()),
 					Message: "fmt.Errorf formats an error operand with %v; " +
 						"use %w so errors.Is/As can unwrap it",
-				})
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+					finding.Fix = wrapVerbFix(p, lit, format, v.arg)
+				}
+				out = append(out, finding)
 			}
 			return true
 		})
@@ -80,6 +84,98 @@ func stringConstant(p *Package, expr ast.Expr) (string, bool) {
 		return "", false
 	}
 	return constant.StringVal(tv.Value), true
+}
+
+// wrapVerbFix builds the one-byte %v → %w edit for the verb consuming
+// variadic argument arg. It scans the literal's raw source text so the
+// edit's byte offset is exact; when the raw scan disagrees with the
+// constant-value scan (an escaped '%' such as \x25 shifts verbs), no
+// fix is offered and the finding stays manual.
+func wrapVerbFix(p *Package, lit *ast.BasicLit, format string, arg int) *Fix {
+	raw := formatVerbLocs(lit.Value)
+	val := formatVerbs(format)
+	if len(raw) != len(val) {
+		return nil
+	}
+	for i := range raw {
+		if rune(raw[i].verb) != val[i].verb || raw[i].arg != val[i].arg {
+			return nil
+		}
+	}
+	for _, v := range raw {
+		if v.verb != 'v' || v.arg != arg {
+			continue
+		}
+		off := p.Fset.Position(lit.Pos()).Offset + v.off
+		return &Fix{
+			Message: "wrap the error with %w",
+			Edits: []TextEdit{{
+				Filename: p.Fset.Position(lit.Pos()).Filename,
+				Start:    off,
+				End:      off + 1,
+				NewText:  "w",
+			}},
+		}
+	}
+	return nil
+}
+
+// verbLoc is one verb located in a literal's raw source text.
+type verbLoc struct {
+	verb byte
+	arg  int
+	off  int // byte offset of the verb character
+}
+
+// formatVerbLocs is formatVerbs over raw source bytes, tracking each
+// verb's byte offset. Scanning bytes is safe because '%', flags and
+// verbs are ASCII and UTF-8 continuation bytes never collide with them.
+func formatVerbLocs(s string) []verbLoc {
+	var out []verbLoc
+	arg := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '%' {
+			continue
+		}
+		for i < len(s) {
+			c := s[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.", c) >= 0 || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(s) && s[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				n = n*10 + int(s[j]-'0')
+				j++
+			}
+			if j < len(s) && s[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(s) {
+			break
+		}
+		out = append(out, verbLoc{verb: s[i], arg: arg, off: i})
+		arg++
+	}
+	return out
 }
 
 // verbUse is one formatting verb and the 0-based index of the variadic

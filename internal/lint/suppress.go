@@ -7,26 +7,53 @@ import (
 
 // ignorePrefix introduces a suppression comment:
 //
-//	//swlint:ignore <rule>[,<rule>...] [reason]
+//	//swlint:ignore <rule>[,<rule>...] -- <reason>
 //
-// The comment suppresses the listed rules on its own line and on the
-// line directly below, so both trailing and preceding placement work:
+// The rule list and the reason are both mandatory: a suppression is a
+// claim that a specific rule's invariant holds here for a reason the
+// analysis cannot see, and the reason is the reviewable part of that
+// claim. The comment suppresses the listed rules on its own line and
+// on the line directly below, so both trailing and preceding placement
+// work:
 //
-//	if a == b { ... }            //swlint:ignore float-eq exact tie-break
+//	if a == b { ... }            //swlint:ignore float-eq -- exact tie-break
 //
-//	//swlint:ignore float-eq exact tie-break
+//	//swlint:ignore float-eq -- exact tie-break
 //	if a == b { ... }
+//
+// A malformed suppression (missing rule list, missing the " -- "
+// separator, or an empty reason) suppresses nothing and is itself
+// reported as a bad-suppress finding. A well-formed suppression that
+// matched no finding of its rules is reported as unused-suppress, so
+// stale ignores cannot silently accumulate.
 const ignorePrefix = "swlint:ignore"
+
+// BadSuppressID and UnusedSuppressID are the pseudo-rules the
+// suppression machinery itself reports. They cannot be suppressed.
+const (
+	BadSuppressID    = "bad-suppress"
+	UnusedSuppressID = "unused-suppress"
+)
+
+// suppression is one parsed ignore comment entry: one rule at one
+// line, with its use count.
+type suppression struct {
+	rule string
+	pos  token.Position
+	used int
+}
 
 // suppressions indexes the ignore comments of one package by file and
 // line.
 type suppressions struct {
-	// byLine maps filename -> line -> rule IDs suppressed at that line.
-	byLine map[string]map[int][]string
+	// byLine maps filename -> line -> entries declared at that line.
+	byLine map[string]map[int][]*suppression
+	// malformed collects the bad-suppress findings.
+	malformed []Finding
 }
 
 func newSuppressions(p *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	s := &suppressions{byLine: make(map[string]map[int][]*suppression)}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -36,12 +63,18 @@ func newSuppressions(p *Package) *suppressions {
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue // a bare swlint:ignore names no rule and suppresses nothing
-				}
-				rules := strings.Split(fields[0], ",")
 				pos := p.Fset.Position(c.Pos())
+				rules, reason, ok := parseIgnore(rest)
+				if !ok {
+					s.malformed = append(s.malformed, Finding{
+						RuleID: BadSuppressID,
+						Pos:    pos,
+						Message: "malformed suppression; the form is " +
+							"//swlint:ignore <rule>[,<rule>...] -- <reason> (rule list and reason are mandatory)",
+					})
+					continue
+				}
+				_ = reason // recorded in source; the analysis only requires its presence
 				s.add(pos, rules)
 			}
 		}
@@ -49,34 +82,81 @@ func newSuppressions(p *Package) *suppressions {
 	return s
 }
 
+// parseIgnore splits the text after the prefix into rule IDs and the
+// mandatory reason.
+func parseIgnore(rest string) (rules []string, reason string, ok bool) {
+	rest = strings.TrimSpace(rest)
+	ruleList, reason, found := strings.Cut(rest, "--")
+	if !found {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(reason)
+	fields := strings.Fields(ruleList)
+	if reason == "" || len(fields) != 1 {
+		return nil, "", false
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return nil, "", false
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, "", false
+	}
+	return rules, reason, true
+}
+
 func (s *suppressions) add(pos token.Position, rules []string) {
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
-		lines = make(map[int][]string)
+		lines = make(map[int][]*suppression)
 		s.byLine[pos.Filename] = lines
 	}
 	for _, r := range rules {
-		r = strings.TrimSpace(r)
-		if r == "" {
-			continue
-		}
-		lines[pos.Line] = append(lines[pos.Line], r)
+		lines[pos.Line] = append(lines[pos.Line], &suppression{rule: r, pos: pos})
 	}
 }
 
 // suppressed reports whether the finding is covered by an ignore
-// comment on its own line or the line above.
+// comment on its own line or the line above, and counts the use.
 func (s *suppressions) suppressed(f Finding) bool {
 	lines := s.byLine[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, r := range lines[line] {
-			if r == f.RuleID {
+		for _, sup := range lines[line] {
+			if sup.rule == f.RuleID {
+				sup.used++
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// report emits the machinery's own findings: every malformed comment,
+// and every well-formed suppression for a rule in scope that matched
+// nothing. Suppressions naming rules outside the run's rule set are
+// left alone so a partial rule run does not misreport them as stale.
+func (s *suppressions) report(ranRules map[string]bool) []Finding {
+	out := append([]Finding(nil), s.malformed...)
+	for _, lines := range s.byLine {
+		for _, sups := range lines {
+			for _, sup := range sups {
+				if sup.used > 0 || !ranRules[sup.rule] {
+					continue
+				}
+				out = append(out, Finding{
+					RuleID: UnusedSuppressID,
+					Pos:    sup.pos,
+					Message: "suppression for " + sup.rule +
+						" matched no finding; delete the stale comment or fix the rule ID",
+				})
+			}
+		}
+	}
+	return out
 }

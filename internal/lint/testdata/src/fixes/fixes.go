@@ -1,0 +1,20 @@
+// Package fixes seeds findings whose mechanical repairs the -fix tests
+// apply and re-apply: a sorted-key map rewrite and a %v → %w rewrite.
+package fixes
+
+import "fmt"
+
+// total is package state written in map order.
+var total int
+
+// SumInOrder accumulates map values into package state.
+func SumInOrder(m map[int]int) {
+	for _, v := range m {
+		total += v
+	}
+}
+
+// Wrap flattens an error with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("load: %v", err)
+}

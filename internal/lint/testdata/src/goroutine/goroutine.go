@@ -1,0 +1,123 @@
+// Package goroutine seeds concurrency shapes for the goroutine-purity
+// rule: bare shared writes, index scatters, guarded reduces, token
+// channels, selects and fan-in merges.
+package goroutine
+
+import (
+	"sort"
+	"sync"
+)
+
+// shared is package state goroutines must not write bare.
+var shared int
+
+// BadShared writes package state from a goroutine.
+func BadShared(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shared = 1
+	}()
+	wg.Wait()
+}
+
+// Scatter writes each goroutine's own index: deterministic.
+func Scatter(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i * 2
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Token signals completion with an empty-struct send.
+func Token(run func()) {
+	done := make(chan struct{})
+	go func() {
+		run()
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// Race returns whichever arrives first; inherently schedule-dependent.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// GatherUnsorted merges worker results in arrival order.
+func GatherUnsorted(ch chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		v := <-ch
+		out = append(out, v)
+	}
+	return out
+}
+
+// GatherSorted merges, then imposes a total order before use.
+func GatherSorted(ch chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		v := <-ch
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DrainUnsorted collects a closed channel in arrival order.
+func DrainUnsorted(ch chan string) []string {
+	var out []string
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// acc reduces worker contributions under a documented mutex.
+type acc struct {
+	mu  sync.Mutex
+	sum int // guarded by mu
+}
+
+// GuardedReduce accumulates through the guarded field, the documented
+// deterministic reduce for commutative operations.
+func GuardedReduce(a *acc, vals []int) {
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			a.mu.Lock()
+			a.sum += v
+			a.mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+}
+
+// counterBare has no annotation; goroutine writes to it are flagged.
+type counterBare struct{ n int }
+
+// BadField writes an unguarded shared field.
+func BadField(c *counterBare) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+// Package maporder seeds map-range loops with and without
+// order-sensitive effects for the map-order rule.
+package maporder
+
+import "sort"
+
+// counts is package state a loop body must not write in map order.
+var counts int
+
+// PkgWrite accumulates into a package variable in map order.
+func PkgWrite(m map[string]int) {
+	for _, v := range m {
+		counts += v
+	}
+}
+
+// CollectNoSort appends map values with no total-order sort after.
+func CollectNoSort(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectSorted is the blessed pattern: collect, then total-order sort.
+func CollectSorted(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CollectSortSlice sorts with a comparator, whose totality the
+// analysis cannot check; the finding stands.
+func CollectSortSlice(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count ranges keylessly; identical iterations cannot observe order.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Normalize writes only through the range key: per-entry, order-free.
+func Normalize(m map[string][]int, scale map[string]int) {
+	for k := range scale {
+		m[k] = nil
+	}
+}
+
+// Stream sends values in map order.
+func Stream(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// Max folds into a plain local, which the flow model leaves alone.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// tally is shared state reached through a pointer parameter.
+type tally struct{ total int }
+
+// FieldWrite accumulates into a struct field in map order.
+func FieldWrite(t *tally, m map[string]int) {
+	for _, v := range m {
+		t.total += v
+	}
+}

@@ -1,40 +1,42 @@
 // Package suppress exercises the //swlint:ignore machinery against
-// float-eq findings: trailing and preceding placement, rule lists,
-// wrong rule names and the bare form.
+// float-eq findings: trailing and preceding placement, rule lists with
+// reasons, wrong rule names, malformed comments and stale ignores.
 package suppress
 
 // Trailing carries the ignore on the offending line itself.
 func Trailing(a, b float64) bool {
-	return a == b //swlint:ignore float-eq exact sentinel compare
+	return a == b //swlint:ignore float-eq -- exact sentinel compare
 }
 
 // Above carries the ignore on the line directly before.
 func Above(a, b float64) bool {
-	//swlint:ignore float-eq exact sentinel compare
+	//swlint:ignore float-eq -- exact sentinel compare
 	return a == b
 }
 
 // Multi suppresses several rules with one comment.
 func Multi(a, b float64) bool {
-	//swlint:ignore float-eq,err-wrap shared justification
+	//swlint:ignore float-eq,err-wrap -- shared justification
 	return a != b
 }
 
 // WrongRule names a different rule, so the finding survives.
 func WrongRule(a, b float64) bool {
-	//swlint:ignore no-wallclock wrong rule
+	//swlint:ignore no-wallclock -- wrong rule
 	return a == b
 }
 
-// Bare names no rule at all and therefore suppresses nothing.
-func Bare(a, b float64) bool {
-	//swlint:ignore
+// NoReason uses the legacy reason-free form, now malformed: it
+// suppresses nothing and reports as bad-suppress.
+func NoReason(a, b float64) bool {
+	//swlint:ignore float-eq legacy form without separator
 	return a == b
 }
 
-// Far is two lines above the finding, out of suppression range.
+// Far is two lines above the finding, out of suppression range: the
+// finding survives and the comment reports as unused.
 func Far(a, b float64) bool {
-	//swlint:ignore float-eq too far away
+	//swlint:ignore float-eq -- too far away
 
 	return a == b
 }

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestApplyFixes proves the -fix pipeline end to end on a copy of the
+// fixes fixture: the sorted-key map rewrite and the %v → %w rewrite
+// apply, the rewritten package type-checks, re-analysis is clean, and
+// a second apply changes nothing (idempotency).
+func TestApplyFixes(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixes", "fixes.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "fixes.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, _ := fixtureLoader(t)
+	rules := []Rule{
+		MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage},
+		ErrWrapRule{},
+	}
+	as := cfg.ModulePath + "/internal/core"
+	p, err := l.LoadDir(dir, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := CheckPackage(rules, p)
+	fixable := 0
+	for _, f := range findings {
+		if f.Fix != nil {
+			fixable++
+		}
+	}
+	if len(findings) != 2 || fixable != 2 {
+		t.Fatalf("got %d findings (%d fixable), want 2 fixable; findings: %v", len(findings), fixable, findings)
+	}
+
+	changed, applied, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || len(applied) != 2 {
+		t.Fatalf("ApplyFixes changed %v, applied %d findings; want 1 file, 2 findings", changed, len(applied))
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sort"`, "sort.Ints(", "%w"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+
+	// The rewritten package must type-check and analyze clean.
+	p2, err := l.LoadDir(dir, as)
+	if err != nil {
+		t.Fatalf("fixed source does not type-check: %v", err)
+	}
+	if rest := CheckPackage(rules, p2); len(rest) != 0 {
+		t.Fatalf("findings survive the fix: %v", rest)
+	}
+
+	// Idempotency: a second -fix pass has nothing to apply.
+	changed2, _, err := ApplyFixes(CheckPackage(rules, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed2) != 0 {
+		t.Errorf("second fix pass rewrote %v, want nothing", changed2)
+	}
+}
+
+// TestBaselineRoundTrip covers the baseline lifecycle: update from
+// findings, multiset filtering, stale-entry detection, reason
+// carry-forward and the on-disk round trip.
+func TestBaselineRoundTrip(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	mk := func(rule, file, msg string, line int) Finding {
+		f := Finding{RuleID: rule, Message: msg}
+		f.Pos.Filename = filepath.Join(cfg.ModuleRoot, file)
+		f.Pos.Line = line
+		return f
+	}
+	findings := []Finding{
+		mk("map-order", "internal/obs/metrics.go", "map iteration order reaches simulation state", 10),
+		mk("map-order", "internal/obs/metrics.go", "map iteration order reaches simulation state", 40),
+		mk(BadSuppressID, "internal/obs/metrics.go", "malformed suppression", 5),
+	}
+
+	prev := &Baseline{Entries: []BaselineEntry{{
+		Rule:    "map-order",
+		File:    "internal/obs/metrics.go",
+		Message: "map iteration order reaches simulation state",
+		Reason:  "pre-existing; tracked for cleanup",
+	}}}
+	b := UpdateBaseline(prev, findings, cfg.ModuleRoot)
+	if len(b.Entries) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (bad-suppress is never baselined): %+v", len(b.Entries), b.Entries)
+	}
+	if b.Entries[0].Reason != "pre-existing; tracked for cleanup" {
+		t.Errorf("first entry reason = %q, want carried-forward reason", b.Entries[0].Reason)
+	}
+	if b.Entries[1].Reason != "TODO: justify or fix" {
+		t.Errorf("second entry reason = %q, want placeholder", b.Entries[1].Reason)
+	}
+
+	kept, stale := b.Filter(findings, cfg.ModuleRoot)
+	if len(stale) != 0 {
+		t.Errorf("fresh baseline reports stale entries: %+v", stale)
+	}
+	if len(kept) != 1 || kept[0].RuleID != BadSuppressID {
+		t.Errorf("kept = %v, want only the bad-suppress finding", kept)
+	}
+
+	// One finding fixed: its entry goes stale, the other still filters.
+	kept, stale = b.Filter(findings[1:], cfg.ModuleRoot)
+	if len(kept) != 1 || len(stale) != 1 {
+		t.Errorf("after fixing one finding: kept %d, stale %d; want 1 and 1", len(kept), len(stale))
+	}
+
+	path := filepath.Join(t.TempDir(), BaselineFile)
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Entries, b.Entries) {
+		t.Errorf("round trip mismatch:\nsaved  %+v\nloaded %+v", b.Entries, loaded.Entries)
+	}
+
+	// A missing file is an empty baseline; a reason-free entry is an error.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(empty.Entries) != 0 {
+		t.Errorf("missing baseline: entries=%d err=%v, want empty and nil", len(empty.Entries), err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"entries":[{"rule":"map-order","file":"a.go","message":"m","reason":" "}]}`), 0o644)
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("baseline entry without a reason loaded without error")
+	}
+}
+
+// TestWriteSARIF checks the exported document's shape: schema header,
+// rule table, result wiring and module-root-relative URIs.
+func TestWriteSARIF(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	f := Finding{RuleID: "map-order", Message: "map iteration order reaches simulation state"}
+	f.Pos.Filename = filepath.Join(cfg.ModuleRoot, "internal", "obs", "metrics.go")
+	f.Pos.Line = 12
+	f.Pos.Column = 2
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, []Finding{f}, AllRules(cfg), cfg.ModuleRoot); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "swlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(AllRules(cfg)) {
+		t.Errorf("rule table has %d rules, want %d", len(run.Tool.Driver.Rules), len(AllRules(cfg)))
+	}
+	res := run.Results[0]
+	if res.RuleID != "map-order" || res.Level != "error" {
+		t.Errorf("result = %s/%s, want map-order/error", res.RuleID, res.Level)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/obs/metrics.go" {
+		t.Errorf("uri = %q, want module-root-relative internal/obs/metrics.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 {
+		t.Errorf("startLine = %d, want 12", loc.Region.StartLine)
+	}
+}
+
+// TestCacheRoundTrip runs the parallel driver twice over the suppress
+// fixture with a shared cache directory and demands identical findings:
+// the second run is served from disk and must not change results.
+func TestCacheRoundTrip(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	pattern := filepath.Join("internal", "lint", "testdata", "src", "suppress")
+	cacheDir := t.TempDir()
+
+	first, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("suppress fixture produced no findings; the cache test needs a non-empty result")
+	}
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir not populated (entries=%d, err=%v)", len(ents), err)
+	}
+
+	second, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached run differs from live run:\nlive   %v\ncached %v", first, second)
+	}
+
+	uncached, err := RunWithOptions(cfg, []string{pattern}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, uncached) {
+		t.Errorf("cache-enabled run differs from uncached run:\nuncached %v\ncached   %v", uncached, first)
+	}
+}
+
+// TestSimPackageScopeCoversVClockImporters is the scope meta-test: any
+// package under internal/ that imports the virtual clock participates
+// in simulated time and must be inside the determinism rules' scope.
+func TestSimPackageScopeCoversVClockImporters(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	l := NewLoader(cfg.ModuleRoot, cfg.ModulePath)
+	dirs, err := l.packageDirs(filepath.Join(cfg.ModuleRoot, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newDepHasher(cfg.ModuleRoot, cfg.ModulePath)
+	vclockDir := filepath.Join(cfg.ModuleRoot, "internal", "vclock")
+	for _, dir := range dirs {
+		if dir == vclockDir {
+			continue
+		}
+		info := h.scan(dir)
+		if info.scanErr != nil {
+			t.Fatalf("scanning %s: %v", dir, info.scanErr)
+		}
+		imports := false
+		for _, d := range info.deps {
+			if d == vclockDir {
+				imports = true
+			}
+		}
+		if !imports {
+			continue
+		}
+		path, err := l.pathOf(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasSuffixPath(path, cfg.SimPackages) {
+			t.Errorf("%s imports internal/vclock but is missing from simPackageSuffixes; "+
+				"the determinism rules (no-wallclock, map-order, goroutine-purity) do not cover it", path)
+		}
+	}
+}

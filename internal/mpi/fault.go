@@ -138,6 +138,7 @@ func (w *World) isCrashed(g int) bool {
 	if w.crashCh == nil {
 		return false
 	}
+	//swlint:ignore goroutine-purity -- one case plus default is a deterministic closed-channel probe
 	select {
 	case <-w.crashCh[g]:
 		return true
@@ -258,7 +259,7 @@ func (st *opState) merge(f *RankFailure) {
 		st.fail = f
 		return
 	}
-	//swlint:ignore float-eq exact crash-time tie breaks to the lowest rank for a deterministic root cause
+	//swlint:ignore float-eq -- exact crash-time tie breaks to the lowest rank for a deterministic root cause
 	if f.CrashedAt < st.fail.CrashedAt || (f.CrashedAt == st.fail.CrashedAt && f.Rank < st.fail.Rank) {
 		st.fail = f
 	}

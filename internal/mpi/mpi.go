@@ -156,6 +156,7 @@ func (w *World) runMembers(id uint64, members []int, fn func(c *Comm) error) err
 	for g := range w.inbox {
 	drain:
 		for {
+			//swlint:ignore goroutine-purity -- one case plus default drains dead letters whose content is discarded
 			select {
 			case <-w.inbox[g]:
 			default:
@@ -335,6 +336,7 @@ func (c *Comm) sendPacket(dst int, tag uint64, data []float64, ints []int64, fai
 		}
 	}
 	p.time = c.Clock().Now() + tt
+	//swlint:ignore goroutine-purity -- the arms are equivalent: a packet bound for a crashed or aborted rank is a dead letter either way
 	select {
 	case c.w.inbox[dstG] <- p:
 	case <-c.w.crashChOf(dstG):
@@ -388,6 +390,7 @@ func (c *Comm) recvFull(src int, tag uint64) ([]float64, []int64, *RankFailure, 
 		return c.deliver(p)
 	}
 	for {
+		//swlint:ignore goroutine-purity -- the failure arms drain and prefer buffered matches (drainAndTake), so arm choice never changes the delivered packet
 		select {
 		case p := <-c.w.inbox[me]:
 			if p.src == srcG && p.tag == tag {
@@ -439,6 +442,7 @@ func (c *Comm) takeHeld(me, srcG int, tag uint64) (packet, bool) {
 // real-message-versus-failure decision deterministic.
 func (c *Comm) drainAndTake(me, srcG int, tag uint64) (packet, bool) {
 	for {
+		//swlint:ignore goroutine-purity -- one case plus default deterministically empties the inbox
 		select {
 		case p := <-c.w.inbox[me]:
 			c.w.held[me] = append(c.w.held[me], p)
@@ -673,7 +677,7 @@ func (c *Comm) allReduceMinPairs(vals []float64, idxs []int64) error {
 					return fmt.Errorf("mpi: min-pairs payload mismatch on rank %d", c.rank)
 				}
 				for j := range vals {
-					//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
+					//swlint:ignore float-eq -- exact-value tie breaks to the lowest index, the paper's deterministic combining order
 					if d[j] < vals[j] || (d[j] == vals[j] && i[j] < idxs[j]) {
 						vals[j], idxs[j] = d[j], i[j]
 					}

@@ -124,12 +124,13 @@ func Summarize(r *Recorder) Metrics {
 		iter int
 	}
 	totals := make(map[key]*PhaseSeconds)
-	unitOrder := make(map[string]int)
+	var names []string
+	seen := make(map[int]bool)
 	for _, u := range r.Units() {
 		if u.Name() == IterUnit {
 			continue
 		}
-		unitOrder[u.Name()] = len(unitOrder)
+		names = append(names, u.Name())
 		for _, s := range u.Spans() {
 			k := key{u.Name(), s.Iter}
 			p, ok := totals[k]
@@ -138,18 +139,26 @@ func Summarize(r *Recorder) Metrics {
 				totals[k] = p
 			}
 			p.add(s.Kind, s.Duration())
+			seen[s.Iter] = true
 		}
 	}
+	// Rows come out in iteration order, then unit order, by
+	// construction: walk the sorted iteration set crossed with the
+	// units in their recorded (natural) order, instead of repairing a
+	// map walk with an after-the-fact sort.
+	iterIDs := make([]int, 0, len(seen))
+	for it := range seen {
+		iterIDs = append(iterIDs, it)
+	}
+	sort.Ints(iterIDs)
 	rows := make([]RankIter, 0, len(totals))
-	for k, p := range totals {
-		rows = append(rows, RankIter{Unit: k.unit, Iter: k.iter, Phases: *p})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Iter != rows[j].Iter {
-			return rows[i].Iter < rows[j].Iter
+	for _, it := range iterIDs {
+		for _, name := range names {
+			if p, ok := totals[key{name, it}]; ok {
+				rows = append(rows, RankIter{Unit: name, Iter: it, Phases: *p})
+			}
 		}
-		return unitOrder[rows[i].Unit] < unitOrder[rows[j].Unit]
-	})
+	}
 
 	var iters []IterStat
 	i := 0

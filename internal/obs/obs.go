@@ -241,11 +241,20 @@ func (r *Recorder) Units() []*Unit {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*Unit, 0, len(r.units))
-	for _, u := range r.units {
-		out = append(out, u)
+	// Sort names, not units: sort.Strings fixes a canonical base order,
+	// and the stable natural sort on top of it breaks natural ties
+	// ("rank/01" vs "rank/1") the same way every run — naturalLess
+	// alone is not a total order over distinct names.
+	names := make([]string, 0, len(r.units))
+	for name := range r.units {
+		names = append(names, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return naturalLess(out[i].name, out[j].name) })
+	sort.Strings(names)
+	sort.SliceStable(names, func(i, j int) bool { return naturalLess(names[i], names[j]) })
+	out := make([]*Unit, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.units[name])
+	}
 	return out
 }
 

@@ -10,7 +10,7 @@ import (
 func tilingError(u *Unit) string {
 	cursor := 0.0
 	for i, s := range u.Spans() {
-		//swlint:ignore float-eq tiling carries exact timestamps forward; any drift is a bug
+		//swlint:ignore float-eq -- tiling carries exact timestamps forward; any drift is a bug
 		if s.Start != cursor {
 			return "span " + s.Kind + " starts off the cursor"
 		}
@@ -20,7 +20,7 @@ func tilingError(u *Unit) string {
 		cursor = s.End
 		_ = i
 	}
-	//swlint:ignore float-eq the final span end and EndTime are the same stored value
+	//swlint:ignore float-eq -- the final span end and EndTime are the same stored value
 	if cursor != u.EndTime() {
 		return "spans do not reach EndTime"
 	}

@@ -68,7 +68,7 @@ func DaviesBouldin(src dataset.Source, centroids []float64, d int, assign []int)
 				continue
 			}
 			sep := math.Sqrt(sqDist(centroids[i*d:(i+1)*d], centroids[j*d:(j+1)*d]))
-			//swlint:ignore float-eq exact zero separation means coincident centroids, reported as an error
+			//swlint:ignore float-eq -- exact zero separation means coincident centroids, reported as an error
 			if sep == 0 {
 				return 0, fmt.Errorf("quality: clusters %d and %d share a centroid", i, j)
 			}

@@ -93,7 +93,7 @@ func ARI(a, b []int) (float64, error) {
 	}
 	expected := sumA * sumB / choose2(n)
 	maxIndex := (sumA + sumB) / 2
-	//swlint:ignore float-eq exact equality detects the degenerate single-cluster partitions, which divide to 0/0 below
+	//swlint:ignore float-eq -- exact equality detects the degenerate single-cluster partitions, which divide to 0/0 below
 	if maxIndex == expected {
 		// Degenerate partitions (e.g. single cluster on both sides)
 		// agree perfectly by convention.
@@ -127,12 +127,12 @@ func NMI(a, b []int) (float64, error) {
 		p := float64(v) / n
 		hb -= p * math.Log(p)
 	}
-	//swlint:ignore float-eq entropy of a single-cluster labeling is exactly zero (sum of p*log(p) over one term p=1)
+	//swlint:ignore float-eq -- entropy of a single-cluster labeling is exactly zero (sum of p*log(p) over one term p=1)
 	if ha == 0 && hb == 0 {
 		return 1, nil
 	}
 	denom := (ha + hb) / 2
-	//swlint:ignore float-eq exact zero mean entropy only occurs in the degenerate case handled above
+	//swlint:ignore float-eq -- exact zero mean entropy only occurs in the degenerate case handled above
 	if denom == 0 {
 		return 0, nil
 	}

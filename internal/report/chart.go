@@ -87,7 +87,7 @@ func (c *Chart) Render(w io.Writer) error {
 	if math.IsInf(lo, 1) {
 		return fmt.Errorf("report: chart has no drawable points")
 	}
-	//swlint:ignore float-eq exact equality detects a flat series; the axis is widened by a full unit either way
+	//swlint:ignore float-eq -- exact equality detects a flat series; the axis is widened by a full unit either way
 	if hi == lo {
 		hi = lo + 1
 	}

@@ -44,7 +44,7 @@ func (t *Table) AddStringRow(cells ...string) {
 // formatSeconds renders a duration in seconds with sensible precision.
 func formatSeconds(v float64) string {
 	switch {
-	//swlint:ignore float-eq exact zero picks the "0" rendering; near-zero durations format via the branches below
+	//swlint:ignore float-eq -- exact zero picks the "0" rendering; near-zero durations format via the branches below
 	case v == 0:
 		return "0"
 	case v < 0.001:

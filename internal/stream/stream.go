@@ -94,7 +94,7 @@ func KMeans(src dataset.Source, k, chunkSize, maxIters int, seed uint64) (*Resul
 			counts[a]++
 		}
 		for j := 0; j < kk; j++ {
-			//swlint:ignore float-eq counts accumulates integer increments, so an unassigned centroid is exactly zero
+			//swlint:ignore float-eq -- counts accumulates integer increments, so an unassigned centroid is exactly zero
 			if counts[j] == 0 {
 				continue // empty centroid carries no mass
 			}
@@ -220,7 +220,7 @@ func WeightedKMeans(w *Weighted, k, maxIters int, seed uint64) (cents []float64,
 		}
 		movement := 0.0
 		for j := 0; j < k; j++ {
-			//swlint:ignore float-eq mass only grows by positive weights; exactly zero means never assigned
+			//swlint:ignore float-eq -- mass only grows by positive weights; exactly zero means never assigned
 			if mass[j] == 0 {
 				continue
 			}
@@ -234,7 +234,7 @@ func WeightedKMeans(w *Weighted, k, maxIters int, seed uint64) (cents []float64,
 				row[u] = nv
 			}
 		}
-		//swlint:ignore float-eq a fixed point reproduces every centroid bit-for-bit, so exact zero movement is the stop signal
+		//swlint:ignore float-eq -- a fixed point reproduces every centroid bit-for-bit, so exact zero movement is the stop signal
 		if movement == 0 {
 			break
 		}

@@ -252,7 +252,7 @@ func minReduceGroup(c *regcomm.CPE, mgroup, j int, dist float64) (int, float64, 
 		if len(dd) != 1 || len(ii) != 1 {
 			return 0, 0, fmt.Errorf("sw26010: min-reduce payload mismatch on CPE %d", c.ID())
 		}
-		//swlint:ignore float-eq exact-value tie breaks to the lowest index, the paper's deterministic combining order
+		//swlint:ignore float-eq -- exact-value tie breaks to the lowest index, the paper's deterministic combining order
 		if dd[0] < dist || (dd[0] == dist && int(ii[0]) < j) {
 			dist, j = dd[0], int(ii[0])
 		}

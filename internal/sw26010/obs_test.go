@@ -17,7 +17,7 @@ func cpeTilingSum(t *testing.T, u *obs.Unit) float64 {
 	t.Helper()
 	cursor, sum := 0.0, 0.0
 	for _, s := range u.Spans() {
-		//swlint:ignore float-eq tiling carries exact timestamps forward; drift is a bug
+		//swlint:ignore float-eq -- tiling carries exact timestamps forward; drift is a bug
 		if s.Start != cursor {
 			t.Fatalf("unit %s: span %s starts at %.17g, cursor at %.17g", u.Name(), s.Kind, s.Start, cursor)
 		}
@@ -82,7 +82,7 @@ func TestFineGrainedObserver(t *testing.T) {
 			t.Errorf("%s: observer changed iteration count %d -> %d", rn.name, plain.Iters, res.Iters)
 		}
 		for i := range plain.Centroids {
-			//swlint:ignore float-eq observation must not perturb the simulation at all; bitwise equality is the contract
+			//swlint:ignore float-eq -- observation must not perturb the simulation at all; bitwise equality is the contract
 			if plain.Centroids[i] != res.Centroids[i] {
 				t.Fatalf("%s: observer changed centroid %d", rn.name, i)
 			}

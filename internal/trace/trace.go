@@ -288,7 +288,7 @@ func (a Snapshot) HasRecovery() bool {
 	if a.DMARetries != 0 || a.NetRetries != 0 || a.Checkpoints != 0 || a.Replans != 0 {
 		return true
 	}
-	//swlint:ignore float-eq the seconds counters start at exactly zero and only ever accumulate; any recorded cost compares unequal
+	//swlint:ignore float-eq -- the seconds counters start at exactly zero and only ever accumulate; any recorded cost compares unequal
 	return a.RetrySeconds != 0 || a.CheckpointSeconds != 0 || a.RestoreSeconds != 0 || a.ReplanSeconds != 0 || a.RedoSeconds != 0
 }
 

@@ -132,7 +132,7 @@ func TestSnapshotArithmeticEveryField(t *testing.T) {
 				t.Errorf("Sub dropped field %s: got %d, want %d", name, got, want)
 			}
 		case reflect.Float64:
-			//swlint:ignore float-eq exactly representable binary fractions subtract without rounding
+			//swlint:ignore float-eq -- exactly representable binary fractions subtract without rounding
 			if got, want := dv.Field(i).Float(), av.Field(i).Float()-bv.Field(i).Float(); got != want {
 				t.Errorf("Sub dropped field %s: got %g, want %g", name, got, want)
 			}
