@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck
+.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck bench
 
 # check is the full gate: build, vet, swlint, tests under the race
 # detector, the fault-injection smoke matrix, and the trace-export
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/swlint ./...
+	$(GO) run ./cmd/swlint -stats ./...
 
 # lint-fix applies swlint's mechanical repairs (sorted-key map walks,
 # %v → %w on error operands) in place, then re-checks.
@@ -34,6 +34,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench seeds the perf trajectory: the root paper-figure benchmarks
+# and the internal/core kernels run once each (their seeds are fixed
+# in the *_test.go files), and cmd/benchjson turns the output into
+# BENCH_<host>.json with machine metadata so runs on the same box
+# diff cleanly. The checked-in BENCH_host.json is the first baseline;
+# override BENCH_HOST=host to refresh it.
+BENCH_HOST ?= $(shell hostname)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/core \
+		| $(GO) run ./cmd/benchjson -host $(BENCH_HOST) -out BENCH_$(BENCH_HOST).json
 
 # faultcheck smoke-runs the seeded fault matrix through the CLI: crash
 # with checkpoint restart, crash with dropped shards, pure transient

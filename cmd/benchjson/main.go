@@ -1,0 +1,137 @@
+// Command benchjson turns `go test -bench` output into a machine-
+// readable perf-trajectory file. It reads the benchmark text from
+// stdin, extracts ns/op per benchmark, attaches the machine metadata
+// needed to compare runs honestly (host label, Go version, OS, arch,
+// CPU count), and writes one JSON document.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -host ci -out BENCH_ci.json
+//
+// The parser ignores everything that is not a benchmark result line,
+// so package headers, PASS/ok trailers and log output pass through
+// harmlessly. Results keep their input order, which `go test` makes
+// deterministic, so reruns on the same machine diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Report is the schema of a BENCH_<host>.json file.
+type Report struct {
+	Host      string   `json:"host"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"benchmarks"`
+}
+
+// Result is one benchmark line: the name as printed (including the
+// -N GOMAXPROCS suffix), the iteration count and the ns/op figure.
+type Result struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8  	      12	  98765 ns/op`
+// with any extra per-op metrics after the ns/op column ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Parse extracts the benchmark results from `go test -bench` text.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out = append(out, Result{Name: m[1], Iters: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	return out, nil
+}
+
+// Render builds the report document for a host label.
+func Render(host string, results []Result) ([]byte, error) {
+	rep := Report{
+		Host:      host,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	defaultHost, _ := os.Hostname()
+	if defaultHost == "" {
+		defaultHost = "host"
+	}
+	host := fs.String("host", defaultHost, "host label recorded in the report (and baseline file name)")
+	out := fs.String("out", "", "output path; stdout when empty")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	results, err := Parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
+		return 1
+	}
+	doc, err := Render(*host, results)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if *out == "" {
+		_, err = stdout.Write(doc)
+	} else {
+		err = os.WriteFile(*out, doc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1Capability-8   	       1	  91234567 ns/op
+BenchmarkFig3Level1-8         	       2	  45000000 ns/op	  12 B/op	       3 allocs/op
+some stray log line
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/core
+BenchmarkArgminDistance-8     	 1000000	      1234.5 ns/op
+PASS
+ok  	repro/internal/core	0.567s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	want := []Result{
+		{Name: "BenchmarkTable1Capability-8", Iters: 1, NsPerOp: 91234567},
+		{Name: "BenchmarkFig3Level1-8", Iters: 2, NsPerOp: 45000000},
+		{Name: "BenchmarkArgminDistance-8", Iters: 1000000, NsPerOp: 1234.5},
+	}
+	for i, w := range want {
+		if results[i] != w {
+			t.Errorf("result %d = %+v, want %+v", i, results[i], w)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok  \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from benchmark-free input, want 0", len(results))
+	}
+}
+
+func TestRenderMetadata(t *testing.T) {
+	doc, err := Render("ci", []Result{{Name: "BenchmarkX-4", Iters: 10, NsPerOp: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Host != "ci" {
+		t.Errorf("host = %q, want ci", rep.Host)
+	}
+	if rep.GoVersion != runtime.Version() || rep.GOOS != runtime.GOOS || rep.GOARCH != runtime.GOARCH {
+		t.Errorf("machine metadata %q/%q/%q does not match the runtime", rep.GoVersion, rep.GOOS, rep.GOARCH)
+	}
+	if rep.NumCPU < 1 {
+		t.Errorf("num_cpu = %d, want >= 1", rep.NumCPU)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkX-4" {
+		t.Errorf("results round-trip failed: %+v", rep.Results)
+	}
+	if !bytes.HasSuffix(doc, []byte("\n")) {
+		t.Error("report does not end with a newline")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	code := run(strings.NewReader(sampleBenchOutput), &stdout, &stderr, []string{"-host", "test", "-out", out})
+	if code != 0 {
+		t.Fatalf("run exit = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 3 {
+		t.Errorf("written report has %d results, want 3", len(rep.Results))
+	}
+}
+
+func TestRunNoResultsFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(strings.NewReader("PASS\n"), &stdout, &stderr, nil)
+	if code != 1 {
+		t.Fatalf("run exit = %d for benchmark-free input, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no benchmark result lines") {
+		t.Errorf("stderr %q does not explain the failure", stderr.String())
+	}
+}

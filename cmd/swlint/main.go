@@ -9,7 +9,8 @@
 //	go run ./cmd/swlint ./internal/mpi ./internal/vclock
 //	go run ./cmd/swlint -format sarif ./... > swlint.sarif
 //	go run ./cmd/swlint -fix ./...
-//	go run ./cmd/swlint -update-baseline ./...
+//	go run ./cmd/swlint -update-baseline -baseline-reason "why the debt is accepted" ./...
+//	go run ./cmd/swlint -stats ./...
 //	go run ./cmd/swlint -list
 //
 // Findings recorded in .swlint-baseline.json at the module root are
@@ -27,6 +28,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -43,9 +46,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "baseline file (default: .swlint-baseline.json at the module root)")
 	noBaseline := fs.Bool("no-baseline", false, "report all findings, ignoring the baseline")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline from the current findings and exit")
+	baselineReason := fs.String("baseline-reason", "", "justification recorded on new baseline entries (required with -update-baseline)")
 	fix := fs.Bool("fix", false, "apply available mechanical fixes, then report what remains")
 	jobs := fs.Int("jobs", 0, "packages analyzed concurrently (0 = GOMAXPROCS)")
 	noCache := fs.Bool("no-cache", false, "disable the on-disk result cache")
+	stats := fs.Bool("stats", false, "print per-rule finding counts, package count and cache hit rate to stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: swlint [flags] <package patterns>")
 		fs.PrintDefaults()
@@ -55,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *format != "text" && *format != "sarif" {
 		fmt.Fprintf(stderr, "swlint: unknown format %q (want text or sarif)\n", *format)
+		return 2
+	}
+	if *updateBaseline && strings.TrimSpace(*baselineReason) == "" {
+		fmt.Fprintln(stderr, "swlint: -update-baseline requires -baseline-reason: justify the accepted findings or fix them")
 		return 2
 	}
 
@@ -85,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := lint.RunOptions{Jobs: *jobs}
 	if !*noCache {
 		opts.CacheDir = lint.DefaultCacheDir(cfg.ModuleRoot)
+	}
+	var runStats lint.RunStats
+	if *stats {
+		opts.Stats = &runStats
 	}
 	findings, err := lint.RunWithOptions(cfg, patterns, opts)
 	if err != nil {
@@ -125,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "swlint:", err)
 			return 2
 		}
-		next := lint.UpdateBaseline(prev, findings, cfg.ModuleRoot)
+		next := lint.UpdateBaseline(prev, findings, cfg.ModuleRoot, strings.TrimSpace(*baselineReason))
 		if err := next.Save(bpath); err != nil {
 			fmt.Fprintln(stderr, "swlint:", err)
 			return 2
@@ -157,9 +170,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if *stats {
+		printStats(stderr, runStats, findings)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "swlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// printStats reports the run's shape: how many packages were analyzed,
+// how many came from the cache, and the per-rule finding counts after
+// baseline filtering.
+func printStats(w io.Writer, s lint.RunStats, findings []lint.Finding) {
+	rate := 0.0
+	if s.Packages > 0 {
+		rate = 100 * float64(s.CacheHits) / float64(s.Packages)
+	}
+	fmt.Fprintf(w, "swlint: stats: %d package(s) analyzed, %d cache hit(s) (%.0f%%)\n", s.Packages, s.CacheHits, rate)
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.RuleID]++
+	}
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "swlint: stats: %-18s %d\n", id, counts[id])
+	}
 }

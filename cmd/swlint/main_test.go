@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -17,7 +18,8 @@ func TestListRules(t *testing.T) {
 	}
 	for _, id := range []string{
 		"no-wallclock", "float-eq", "guarded-field", "err-wrap", "ldm-capacity",
-		"map-order", "collective-match", "goroutine-purity", "bad-suppress", "unused-suppress",
+		"ldm-provenance", "map-order", "collective-match", "goroutine-purity",
+		"hot-path-alloc", "bad-suppress", "unused-suppress",
 	} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing rule %s:\n%s", id, stdout.String())
@@ -117,8 +119,25 @@ func TestBaselineFlow(t *testing.T) {
 	bpath := filepath.Join(t.TempDir(), "baseline.json")
 
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-no-cache", "-baseline", bpath, "-update-baseline", fixture}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-no-cache", "-baseline", bpath, "-update-baseline", fixture}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-update-baseline without -baseline-reason exited %d, want 2 (usage error)\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-baseline-reason") {
+		t.Errorf("missing-reason error does not name the flag:\n%s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-no-cache", "-baseline", bpath, "-update-baseline",
+		"-baseline-reason", "fixture debt accepted for the test", fixture}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-update-baseline exited %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fixture debt accepted for the test") {
+		t.Errorf("baseline entries do not carry the supplied reason:\n%s", data)
 	}
 
 	stdout.Reset()

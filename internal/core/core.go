@@ -344,6 +344,7 @@ func argminDistance(x, cents []float64, d int) (int, float64) {
 	k := len(cents) / d
 	best := -1
 	bestDist := 0.0
+	//swlint:hot distance kernel: runs once per sample per iteration
 	for j := 0; j < k; j++ {
 		c := cents[j*d : (j+1)*d]
 		s := 0.0
@@ -365,6 +366,7 @@ func argminDistance(x, cents []float64, d int) (int, float64) {
 func applyUpdate(cents, sums []float64, counts []int64, d int) float64 {
 	movement := 0.0
 	k := len(counts)
+	//swlint:hot centroid update: touches every centroid coordinate
 	for j := 0; j < k; j++ {
 		if counts[j] == 0 {
 			continue

@@ -54,6 +54,7 @@ func LloydFrom(src dataset.Source, initial []float64, maxIters int, tolerance fl
 		}
 		// Assign step.
 		obj := 0.0
+		//swlint:hot per-sample assign loop: the O(n·k·d) core of Lloyd
 		for i := 0; i < n; i++ {
 			src.Sample(i, buf)
 			j, dist := argminDistance(buf, cents, d)

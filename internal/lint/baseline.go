@@ -111,9 +111,11 @@ func (b *Baseline) Filter(findings []Finding, moduleRoot string) (kept []Finding
 
 // UpdateBaseline builds a fresh baseline from the current findings,
 // carrying forward reasons from prior entries that still match and
-// stamping new entries with a placeholder reason the developer must
-// edit before the file passes review.
-func UpdateBaseline(prev *Baseline, findings []Finding, moduleRoot string) *Baseline {
+// stamping new entries with reason — the justification the developer
+// supplies for accepting the debt (the CLI's mandatory
+// -baseline-reason). An empty reason falls back to a placeholder that
+// must be edited before the file passes review.
+func UpdateBaseline(prev *Baseline, findings []Finding, moduleRoot, reason string) *Baseline {
 	reasons := make(map[string][]string)
 	for _, e := range prev.Entries {
 		k := baselineKey(e.Rule, e.File, e.Message)
@@ -126,16 +128,19 @@ func UpdateBaseline(prev *Baseline, findings []Finding, moduleRoot string) *Base
 		}
 		file := relFile(f.Pos.Filename, moduleRoot)
 		k := baselineKey(f.RuleID, file, f.Message)
-		reason := "TODO: justify or fix"
+		entryReason := reason
+		if entryReason == "" {
+			entryReason = "TODO: justify or fix"
+		}
 		if rs := reasons[k]; len(rs) > 0 {
-			reason = rs[0]
+			entryReason = rs[0]
 			reasons[k] = rs[1:]
 		}
 		next.Entries = append(next.Entries, BaselineEntry{
 			Rule:    f.RuleID,
 			File:    file,
 			Message: f.Message,
-			Reason:  reason,
+			Reason:  entryReason,
 		})
 	}
 	sort.Slice(next.Entries, func(i, j int) bool {

@@ -33,6 +33,18 @@ type RunOptions struct {
 	Jobs int
 	// CacheDir enables the on-disk result cache when non-empty.
 	CacheDir string
+	// Stats, when non-nil, receives run statistics (package and cache
+	// counters); the per-rule finding counts are derivable from the
+	// returned findings.
+	Stats *RunStats
+}
+
+// RunStats carries the driver's counters for the CLI's -stats output.
+type RunStats struct {
+	// Packages is the number of package directories analyzed.
+	Packages int
+	// CacheHits is how many of them were served from the on-disk cache.
+	CacheHits int
 }
 
 // RunWithOptions is Run with explicit parallelism and caching. Findings
@@ -47,7 +59,11 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 	}
 	rules := cfg.Rules
 	if len(rules) == 0 {
-		rules = AllRules(cfg)
+		sums := NewSummarizer(cfg)
+		if opts.CacheDir != "" {
+			sums.SetCacheDir(opts.CacheDir)
+		}
+		rules = allRules(cfg, sums)
 	}
 	jobs := opts.Jobs
 	if jobs <= 0 {
@@ -69,6 +85,7 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 	}
 	results := make([][]Finding, len(dirs))
 	errs := make([]error, len(dirs))
+	hits := make([]bool, len(dirs))
 	sem := make(chan struct{}, jobs)
 	var wg sync.WaitGroup
 	for i, dir := range dirs {
@@ -77,7 +94,7 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = checkDir(loader, rules, store, dir)
+			results[i], hits[i], errs[i] = checkDir(loader, rules, store, dir)
 		}(i, dir)
 	}
 	wg.Wait()
@@ -88,6 +105,14 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 		}
 		findings = append(findings, results[i]...)
 	}
+	if opts.Stats != nil {
+		opts.Stats.Packages = len(dirs)
+		for _, hit := range hits {
+			if hit {
+				opts.Stats.CacheHits++
+			}
+		}
+	}
 	sortFindings(findings)
 	return findings, nil
 }
@@ -96,25 +121,25 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 // enabled. Cache failures (unreadable entries, hash errors) degrade to
 // a live run — the cache is an accelerator, never a correctness
 // dependency.
-func checkDir(loader *Loader, rules []Rule, store *cacheStore, dir string) ([]Finding, error) {
+func checkDir(loader *Loader, rules []Rule, store *cacheStore, dir string) ([]Finding, bool, error) {
 	var key string
 	if store != nil {
 		if k, err := store.key(dir); err == nil {
 			key = k
 			if findings, ok := store.load(k); ok {
-				return findings, nil
+				return findings, true, nil
 			}
 		}
 	}
 	p, err := loader.LoadDir(dir, "")
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	findings := CheckPackage(rules, p)
 	if store != nil && key != "" {
 		store.save(key, findings)
 	}
-	return findings, nil
+	return findings, false, nil
 }
 
 // configFingerprint digests everything about the configuration that
@@ -128,7 +153,7 @@ func configFingerprint(cfg Config, rules []Rule) string {
 			h.Write([]byte{0})
 		}
 	}
-	w("swlint", ToolVersion, cfg.ModulePath, cfg.LDMPackage, cfg.CommPackage, cfg.VClockPackage)
+	w("swlint", ToolVersion, cfg.ModulePath, cfg.LDMPackage, cfg.CommPackage, cfg.VClockPackage, cfg.DMAPackage)
 	w(cfg.SimPackages...)
 	w(cfg.CapacityExempt...)
 	ids := make([]string, 0, len(rules))

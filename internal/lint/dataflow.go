@@ -125,12 +125,22 @@ func (g *flowGraph) localVar(id *ast.Ident) *types.Var {
 
 // derivesFrom reports whether expr's value derives — directly or
 // through local assignments — from a source expression satisfying
-// pred. Flow through calls, fields and containers is not followed.
+// pred. Flow through opaque calls, fields and containers is not
+// followed; builtins and conversions pass their operands through.
 func (g *flowGraph) derivesFrom(expr ast.Expr, pred func(ast.Expr) bool) bool {
-	return g.derives(expr, pred, make(map[*types.Var]bool))
+	return g.derives(expr, pred, nil, make(map[*types.Var]bool))
 }
 
-func (g *flowGraph) derives(expr ast.Expr, pred func(ast.Expr) bool, seen map[*types.Var]bool) bool {
+// derivesVia is derivesFrom with a call oracle: for each resolvable
+// call the oracle reports whether the result is itself a source (a
+// callee whose summary returns tainted values) and which argument
+// indices flow through to the result, letting taint cross function
+// boundaries. A nil oracle restores the v2 opaque-call behavior.
+func (g *flowGraph) derivesVia(expr ast.Expr, pred func(ast.Expr) bool, oracle func(*ast.CallExpr) (bool, []int)) bool {
+	return g.derives(expr, pred, oracle, make(map[*types.Var]bool))
+}
+
+func (g *flowGraph) derives(expr ast.Expr, pred func(ast.Expr) bool, oracle func(*ast.CallExpr) (bool, []int), seen map[*types.Var]bool) bool {
 	if expr == nil {
 		return false
 	}
@@ -143,11 +153,30 @@ func (g *flowGraph) derives(expr ast.Expr, pred func(ast.Expr) bool, seen map[*t
 			found = true
 			return false
 		}
-		if _, ok := n.(*ast.CallExpr); ok {
-			// Calls are opaque: a result does not carry its receiver's or
-			// arguments' taint (`err := comm.Barrier()` is not
-			// rank-dependent just because comm came from a Split keyed by
-			// rank). A call that is itself a source matched pred above.
+		if call, ok := n.(*ast.CallExpr); ok {
+			// Builtins (make/append/len/cap/min/max) and type
+			// conversions pass their operands' values through; other
+			// calls are opaque unless the oracle knows the callee: a
+			// result does not carry its receiver's or arguments' taint
+			// (`err := comm.Barrier()` is not rank-dependent just
+			// because comm came from a Split keyed by rank). A call
+			// that is itself a source matched pred above.
+			if g.passThroughCall(call) {
+				return true
+			}
+			if oracle != nil {
+				src, args := oracle(call)
+				if src {
+					found = true
+					return false
+				}
+				for _, i := range args {
+					if i >= 0 && i < len(call.Args) && g.derives(call.Args[i], pred, oracle, seen) {
+						found = true
+						return false
+					}
+				}
+			}
 			return false
 		}
 		id, ok := n.(*ast.Ident)
@@ -160,7 +189,7 @@ func (g *flowGraph) derives(expr ast.Expr, pred func(ast.Expr) bool, seen map[*t
 		}
 		seen[v] = true
 		for _, src := range g.sources[v] {
-			if g.derives(src, pred, seen) {
+			if g.derives(src, pred, oracle, seen) {
 				found = true
 				return false
 			}
@@ -168,6 +197,26 @@ func (g *flowGraph) derives(expr ast.Expr, pred func(ast.Expr) bool, seen map[*t
 		return true
 	})
 	return found
+}
+
+// passThroughCall reports whether a call propagates its operands'
+// values rather than computing an opaque result: the value-shaping
+// builtins and type conversions (`float64(rank)` carries rank's
+// taint).
+func (g *flowGraph) passThroughCall(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, ok := g.p.Info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make", "append", "len", "cap", "min", "max":
+				return true
+			}
+			return false
+		}
+	}
+	if tv, ok := g.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
 }
 
 // totalSortFuncs are the sort calls that impose a total order on a
@@ -258,8 +307,10 @@ func isRankSource(p *Package, e ast.Expr) bool {
 // rankDependent reports whether cond's value depends on the calling
 // rank: it mentions a rank source directly, or a local variable whose
 // value flows from one (covering `pos := c.Rank() % m; if pos == 0`).
-func rankDependent(p *Package, g *flowGraph, cond ast.Expr) bool {
-	return g.derivesFrom(cond, func(e ast.Expr) bool { return isRankSource(p, e) })
+// A non-nil oracle extends the flow through calls to helpers whose
+// summaries return rank-derived values.
+func rankDependent(p *Package, g *flowGraph, cond ast.Expr, oracle func(*ast.CallExpr) (bool, []int)) bool {
+	return g.derivesVia(cond, func(e ast.Expr) bool { return isRankSource(p, e) }, oracle)
 }
 
 // declaredWithin reports whether the variable's declaration position

@@ -13,12 +13,19 @@
 // the paper section it protects.
 //
 // Beyond the per-file syntactic rules, the package carries a
-// lightweight function-level dataflow engine (dataflow.go) powering
-// the semantic rules map-order, collective-match and goroutine-purity,
-// plus the tooling layer of a real analyzer: SARIF 2.1.0 export
-// (sarif.go), a checked-in findings baseline (baseline.go), mechanical
-// autofixes (fix.go) and a content-hash keyed result cache with
-// parallel per-package analysis (cache.go).
+// lightweight function-level dataflow engine (dataflow.go) and a
+// call-graph-driven interprocedural summary layer (summary.go):
+// bottom-up per-function summaries record transitively invoked
+// collectives, rank and LDM-capacity taint through parameters and
+// returns, package-variable writes, and allocation behavior, letting
+// the semantic rules map-order, collective-match, goroutine-purity,
+// ldm-provenance and hot-path-alloc report through helper calls with
+// the call chain in the message. On top sits the tooling layer of a
+// real analyzer: SARIF 2.1.0 export (sarif.go), a checked-in findings
+// baseline (baseline.go), mechanical autofixes (fix.go) and a
+// content-hash keyed result cache with parallel per-package analysis
+// (cache.go); function summaries join the same on-disk cache, keyed so
+// a callee edit invalidates its callers.
 //
 // The package is stdlib-only (go/parser + go/types with a source
 // importer); go.mod stays dependency-free. Rules are unit-testable
@@ -87,6 +94,9 @@ type Config struct {
 	// map-order).
 	CommPackage   string
 	VClockPackage string
+	// DMAPackage hosts the transfer engine whose size arguments the
+	// ldm-provenance rule checks.
+	DMAPackage string
 	// Rules is the rule set to run. Empty means AllRules(cfg).
 	Rules []Rule
 }
@@ -122,6 +132,7 @@ func DefaultConfig(dir string) (Config, error) {
 		LDMPackage:    module + "/internal/ldm",
 		CommPackage:   module + "/internal/mpi",
 		VClockPackage: module + "/internal/vclock",
+		DMAPackage:    module + "/internal/dma",
 		CapacityExempt: []string{
 			module + "/internal/ldm",
 			module + "/internal/machine",
@@ -134,18 +145,27 @@ func DefaultConfig(dir string) (Config, error) {
 }
 
 // AllRules returns the full rule set parameterized by cfg: the five
-// syntactic rules, the three dataflow rules, and the two pseudo-rules
-// the suppression machinery reports through.
+// syntactic rules, the five dataflow rules backed by a shared
+// interprocedural summarizer, and the two pseudo-rules the suppression
+// machinery reports through.
 func AllRules(cfg Config) []Rule {
+	return allRules(cfg, NewSummarizer(cfg))
+}
+
+// allRules builds the rule set around one shared Summarizer, so the
+// driver can wire its disk cache in before the rules are constructed.
+func allRules(cfg Config, sums *Summarizer) []Rule {
 	return []Rule{
 		NoWallclockRule{SimPackages: cfg.SimPackages},
 		FloatEqRule{},
 		GuardedFieldRule{},
 		ErrWrapRule{},
 		LDMCapacityRule{LDMPackage: cfg.LDMPackage, Exempt: cfg.CapacityExempt},
-		MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage},
-		CollectiveMatchRule{CommPackage: cfg.CommPackage},
-		GoroutinePurityRule{SimPackages: cfg.SimPackages},
+		LDMProvenanceRule{LDMPackage: cfg.LDMPackage, DMAPackage: cfg.DMAPackage, Exempt: cfg.CapacityExempt, Sums: sums},
+		MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage, Sums: sums},
+		CollectiveMatchRule{CommPackage: cfg.CommPackage, Sums: sums},
+		GoroutinePurityRule{SimPackages: cfg.SimPackages, Sums: sums},
+		HotPathAllocRule{Sums: sums},
 		metaRule{id: BadSuppressID, doc: "suppressions must name rules and carry a reason: //swlint:ignore <rule> -- <reason>"},
 		metaRule{id: UnusedSuppressID, doc: "suppressions that match no finding are stale and must be deleted"},
 	}

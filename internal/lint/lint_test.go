@@ -278,7 +278,10 @@ func TestDefaultConfig(t *testing.T) {
 			t.Errorf("SimPackages missing %s", sim)
 		}
 	}
-	if len(AllRules(cfg)) != 10 {
-		t.Errorf("AllRules returned %d rules, want 10", len(AllRules(cfg)))
+	if len(AllRules(cfg)) != 12 {
+		t.Errorf("AllRules returned %d rules, want 12", len(AllRules(cfg)))
+	}
+	if cfg.DMAPackage != "repro/internal/dma" {
+		t.Errorf("DMAPackage = %q", cfg.DMAPackage)
 	}
 }

@@ -31,6 +31,13 @@ type CollectiveMatchRule struct {
 	// own implementation (tree broadcasts are rank-conditional sends by
 	// construction) is out of scope.
 	CommPackage string
+	// Sums, when non-nil, extends the analysis interprocedurally: a
+	// call to a helper whose summary reaches a collective counts as
+	// that collective at the call site (the finding names the call
+	// chain), and branch conditions may derive their rank dependence
+	// through helper returns. Nil restores the v2 intraprocedural
+	// behavior.
+	Sums *Summarizer
 }
 
 // ID implements Rule.
@@ -59,11 +66,23 @@ var collectiveOps = map[string]string{
 	"Recv":              "p2p",
 }
 
-// commCall is one tracked communicator call.
+// commCall is one tracked communicator call. via is empty for a direct
+// Comm method call; for a summary-propagated collective it is the call
+// chain from the invoked helper down to the operation.
 type commCall struct {
 	call *ast.CallExpr
 	name string
 	key  string
+	via  string
+}
+
+// rankOracle builds the per-package call oracle extending rank
+// dependence through helper returns, or nil without summaries.
+func (r CollectiveMatchRule) rankOracle(p *Package) func(*ast.CallExpr) (bool, []int) {
+	if r.Sums == nil {
+		return nil
+	}
+	return r.Sums.RankTaint(p)
 }
 
 // Check implements Rule.
@@ -129,7 +148,7 @@ func (r CollectiveMatchRule) descend(p *Package, g *flowGraph, stmt ast.Stmt, fn
 // terminates.
 func (r CollectiveMatchRule) checkIf(p *Package, g *flowGraph, s *ast.IfStmt, rest []ast.Stmt, fn funcUnit) []Finding {
 	var out []Finding
-	if !rankDependent(p, g, s.Cond) {
+	if !rankDependent(p, g, s.Cond, r.rankOracle(p)) {
 		// Not a rank branch: analyze both arms as plain blocks.
 		out = append(out, r.checkBlock(p, g, s.Body.List, fn)...)
 		if s.Else != nil {
@@ -192,7 +211,7 @@ func (r CollectiveMatchRule) checkSwitch(p *Package, g *flowGraph, s *ast.Switch
 		}
 		dep := false
 		for _, cond := range cc.List {
-			if rankDependent(p, g, cond) {
+			if rankDependent(p, g, cond, r.rankOracle(p)) {
 				dep = true
 				break
 			}
@@ -222,7 +241,9 @@ func (r CollectiveMatchRule) checkSwitch(p *Package, g *flowGraph, s *ast.Switch
 
 // collectCalls gathers the tracked communicator calls under n,
 // skipping nested function literals and nested rank-independent
-// structure alike — matching is structural, not path-sensitive.
+// structure alike — matching is structural, not path-sensitive. With
+// summaries enabled, a call to a helper that transitively enters a
+// collective contributes that collective at the call site.
 func (r CollectiveMatchRule) collectCalls(p *Package, n ast.Node) []commCall {
 	var out []commCall
 	ast.Inspect(n, func(n ast.Node) bool {
@@ -233,15 +254,19 @@ func (r CollectiveMatchRule) collectCalls(p *Package, n ast.Node) []commCall {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if key, tracked := collectiveOps[sel.Sel.Name]; tracked && receiverNamed(p, call, r.CommPackage, "Comm") {
+				out = append(out, commCall{call: call, name: sel.Sel.Name, key: key})
+				return true
+			}
 		}
-		key, tracked := collectiveOps[sel.Sel.Name]
-		if !tracked || !receiverNamed(p, call, r.CommPackage, "Comm") {
-			return true
+		if r.Sums != nil {
+			if sum := r.Sums.ForCall(p, call); sum != nil {
+				for _, c := range sum.Collectives {
+					out = append(out, commCall{call: call, name: c.Name, key: c.Key, via: mergeChain(sum.Name, c.Chain)})
+				}
+			}
 		}
-		out = append(out, commCall{call: call, name: sel.Sel.Name, key: key})
 		return true
 	})
 	return out
@@ -263,10 +288,14 @@ func unmatched(p *Package, ruleID string, calls, sibling []commCall, siblingName
 		if c.key == "p2p" {
 			want = "Send or Recv"
 		}
+		reached := ""
+		if c.via != "" {
+			reached = " (reached via " + c.via + ")"
+		}
 		out = append(out, Finding{
 			RuleID: ruleID,
 			Pos:    p.Fset.Position(c.call.Pos()),
-			Message: "rank-conditional " + c.name + " has no matching " + want +
+			Message: "rank-conditional " + c.name + reached + " has no matching " + want +
 				" in " + siblingName + "; the other ranks never enter the operation and the communicator deadlocks",
 		})
 	}

@@ -32,6 +32,12 @@ import (
 type GoroutinePurityRule struct {
 	// SimPackages scopes the rule, like no-wallclock.
 	SimPackages []string
+	// Sums, when non-nil, lifts the calls-are-trusted limit: a `go`
+	// statement spawning a named function — or a call made from inside
+	// a goroutine literal — whose summary writes package-level
+	// variables is flagged at the call site with the call chain. Nil
+	// restores the v2 intraprocedural behavior.
+	Sums *Summarizer
 }
 
 // ID implements Rule.
@@ -94,7 +100,7 @@ func (r GoroutinePurityRule) Check(p *Package) []Finding {
 func (r GoroutinePurityRule) checkGo(p *Package, guarded map[*types.Var]bool, g *ast.GoStmt) []Finding {
 	lit, ok := g.Call.Fun.(*ast.FuncLit)
 	if !ok {
-		return nil
+		return r.checkImpureCall(p, g.Call)
 	}
 	params := make(map[types.Object]bool)
 	for _, f := range lit.Type.Params.List {
@@ -166,6 +172,8 @@ func (r GoroutinePurityRule) checkGo(p *Package, guarded map[*types.Var]bool, g 
 				// this goroutine; analyze their bodies too.
 				return true
 			}
+		case *ast.CallExpr:
+			out = append(out, r.checkImpureCall(p, n)...)
 		case *ast.AssignStmt:
 			if n.Tok != token.DEFINE {
 				for _, lhs := range n.Lhs {
@@ -185,6 +193,36 @@ func (r GoroutinePurityRule) checkGo(p *Package, guarded map[*types.Var]bool, g 
 		}
 		return true
 	})
+	return out
+}
+
+// checkImpureCall flags a call executed on a goroutine whose callee's
+// summary writes package-level variables — the interprocedural shape of
+// "goroutine writes shared state". Writes through parameters and
+// receivers stay out of model (the caller may well pass goroutine-local
+// state), so only the unambiguous package-variable core is reported.
+func (r GoroutinePurityRule) checkImpureCall(p *Package, call *ast.CallExpr) []Finding {
+	if r.Sums == nil {
+		return nil
+	}
+	sum := r.Sums.ForCall(p, call)
+	if sum == nil {
+		return nil
+	}
+	var out []Finding
+	for _, w := range sum.SharedWrites {
+		msg := "goroutine runs " + sum.Name + ", which " + w.Detail
+		if w.Chain != "" {
+			msg += " (via " + w.Chain + ")"
+		}
+		msg += "; the result depends on scheduling order — " +
+			"scatter into disjoint indexes, reduce through a guarded field, or merge and sort"
+		out = append(out, Finding{
+			RuleID:  r.ID(),
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: msg,
+		})
+	}
 	return out
 }
 

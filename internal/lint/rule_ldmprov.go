@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LDMProvenanceRule enforces the provenance half of the paper's
+// capacity story. ldm-capacity demands that the feasibility arithmetic
+// live in internal/ldm; this rule demands that the numbers actually
+// used — every length feeding a DMA transfer or an LDM buffer — derive
+// from that model. A size invented at the call site ("4096 floats
+// ought to fit") type-checks, passes ldm-capacity if a Check* call is
+// nearby, and silently violates constraint C1 the day k or d grows.
+//
+// Sinks are the size-carrying arguments of the DMA engine
+// (Engine.Charge's element count, the buffers of Engine.Get/Put) and
+// of the LDM allocator (Allocator.Alloc/AllocFloats). A sink is
+// blessed when either
+//
+//   - its value derives — through local flow, make() sizing, and, with
+//     summaries, through calls — from an internal/ldm capacity function
+//     (Level1StreamChunk, ResidentBatch, ...) or constant, or
+//   - the enclosing function is gated by an ldm.Check* feasibility
+//     call, directly or through a helper whose summary carries the
+//     check (the same escape ldm-capacity honors: a checked shape may
+//     size its buffers from the checked k and d).
+//
+// The rule is interprocedural on both sides: a helper returning
+// ldm.Level1StreamChunk(...) propagates provenance to its callers, and
+// a helper that performs the Check* gates its callers.
+type LDMProvenanceRule struct {
+	// LDMPackage is the central capacity package; DMAPackage hosts the
+	// transfer engine whose sizes are checked.
+	LDMPackage string
+	DMAPackage string
+	// Exempt packages may size transfers freely: the capacity and
+	// machine-description packages themselves.
+	Exempt []string
+	// Sums enables interprocedural provenance; nil limits the analysis
+	// to direct ldm calls and same-function Check* gating.
+	Sums *Summarizer
+}
+
+// ID implements Rule.
+func (LDMProvenanceRule) ID() string { return "ldm-provenance" }
+
+// Doc implements Rule.
+func (LDMProvenanceRule) Doc() string {
+	return "sizes feeding DMA transfers and LDM buffers must derive from the internal/ldm capacity model or sit behind an ldm.Check* gate"
+}
+
+// Check implements Rule.
+func (r LDMProvenanceRule) Check(p *Package) []Finding {
+	if p.Path == r.LDMPackage || p.Path == r.DMAPackage || hasSuffixPath(p.Path, r.Exempt) {
+		return nil
+	}
+	var oracle func(*ast.CallExpr) (bool, []int)
+	if r.Sums != nil {
+		oracle = r.Sums.LDMTaint(p)
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The whole declaration, literals included, is one unit: a
+			// Check* gate at the top blesses sizes in the worker
+			// literals it guards (the sw26010 mesh.Run shape).
+			unit := funcUnit{node: fd, body: fd.Body, doc: fd.Doc}
+			sinks := r.sinkArgs(p, fd)
+			if len(sinks) == 0 {
+				continue
+			}
+			if r.gated(p, fd) {
+				continue
+			}
+			g := newFlowGraph(p, unit)
+			for _, sink := range sinks {
+				if g.derivesVia(sink.arg, func(e ast.Expr) bool { return ldmSource(p, r.LDMPackage, e) }, oracle) {
+					continue
+				}
+				out = append(out, Finding{
+					RuleID: r.ID(),
+					Pos:    p.Fset.Position(sink.arg.Pos()),
+					Message: "size feeding " + sink.op + " does not derive from the " + r.LDMPackage +
+						" capacity model; compute it with an ldm capacity function or gate this path with an ldm.Check* feasibility call",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// provSink is one size-carrying argument of a DMA or allocator call.
+type provSink struct {
+	arg ast.Expr
+	op  string
+}
+
+// sinkArgs collects the size-carrying arguments of the declaration's
+// DMA-engine and LDM-allocator calls.
+func (r LDMProvenanceRule) sinkArgs(p *Package, fd *ast.FuncDecl) []provSink {
+	var out []provSink
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch {
+		case r.DMAPackage != "" && receiverNamed(p, call, r.DMAPackage, "Engine"):
+			switch name {
+			case "Charge":
+				if len(call.Args) >= 2 {
+					out = append(out, provSink{arg: call.Args[1], op: "Engine." + name})
+				}
+			case "Get", "Put":
+				for _, i := range []int{1, 2} {
+					if i < len(call.Args) {
+						out = append(out, provSink{arg: call.Args[i], op: "Engine." + name})
+					}
+				}
+			}
+		case r.LDMPackage != "" && receiverNamed(p, call, r.LDMPackage, "Allocator"):
+			switch name {
+			case "Alloc", "AllocFloats":
+				if len(call.Args) >= 2 {
+					out = append(out, provSink{arg: call.Args[1], op: "Allocator." + name})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// gated reports whether the declaration calls an ldm.Check*
+// feasibility check, directly or — with summaries — through a helper.
+func (r LDMProvenanceRule) gated(p *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == r.LDMPackage && strings.HasPrefix(fn.Name(), "Check") {
+			found = true
+			return false
+		}
+		if r.Sums != nil {
+			if sum := r.Sums.ForCall(p, call); sum != nil && sum.ChecksLDM {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

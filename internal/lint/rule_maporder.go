@@ -36,6 +36,12 @@ type MapOrderRule struct {
 	// communicator types whose use inside a map range is order-sensitive.
 	VClockPackage string
 	CommPackage   string
+	// Sums, when non-nil, makes calls transparent: a call to a helper
+	// whose summary carries shared writes or order-sensitive effects
+	// (channel sends, clock advancement, communicator traffic) is an
+	// effect of the range body, reported with the call chain. Nil
+	// restores the v2 intraprocedural behavior.
+	Sums *Summarizer
 }
 
 // ID implements Rule.
@@ -154,6 +160,12 @@ func (r MapOrderRule) rangeEffects(p *Package, g *flowGraph, rng *ast.RangeStmt)
 				effects = append(effects, mapEffect{pos: n.Pos(), kind: "virtual-clock advancement"})
 			} else if r.CommPackage != "" && receiverNamed(p, n, r.CommPackage, "Comm") {
 				effects = append(effects, mapEffect{pos: n.Pos(), kind: "communicator operation"})
+			} else if r.Sums != nil {
+				if sum := r.Sums.ForCall(p, n); sum != nil {
+					if kind := summaryOrderEffect(sum); kind != "" {
+						effects = append(effects, mapEffect{pos: n.Pos(), kind: kind})
+					}
+				}
 			}
 		}
 		return true
@@ -203,6 +215,27 @@ func (r MapOrderRule) writeEffect(p *Package, g *flowGraph, rng *ast.RangeStmt,
 		return &mapEffect{pos: lhs.Pos(), kind: "write through pointer"}
 	}
 	return nil
+}
+
+// summaryOrderEffect renders a callee summary's first order-sensitive
+// behavior as an effect description carrying the call chain, or "" for
+// a callee the summaries consider order-clean. Allocation facts do not
+// count: allocating inside a map range is order-insensitive.
+func summaryOrderEffect(sum *FuncSummary) string {
+	var use *EffectUse
+	if len(sum.SharedWrites) > 0 {
+		use = &sum.SharedWrites[0]
+	} else if len(sum.Effects) > 0 {
+		use = &sum.Effects[0]
+	}
+	if use == nil {
+		return ""
+	}
+	kind := "call to " + sum.Name + " which " + use.Detail
+	if use.Chain != "" {
+		kind += " (via " + use.Chain + ")"
+	}
+	return kind
 }
 
 // isRangeVarUse reports whether e is a use of the range's key or value

@@ -1,0 +1,82 @@
+// Package hotalloc seeds allocation shapes inside //swlint:hot loops
+// for the hot-path-alloc rule, plus blessed preallocated and unmarked
+// cold counterparts.
+package hotalloc
+
+// scratch allocates; calls to it from hot loops are flagged through
+// its summary.
+func scratch(n int) []float64 {
+	return make([]float64, n)
+}
+
+// sink accepts an interface; concrete arguments box.
+func sink(v any) { _ = v }
+
+// MakeInLoop allocates a fresh buffer every iteration.
+func MakeInLoop(n int) float64 {
+	total := 0.0
+	//swlint:hot
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 4)
+		total += buf[0] + float64(i)
+	}
+	return total
+}
+
+// HelperAlloc reaches the allocation through scratch.
+func HelperAlloc(n int) float64 {
+	total := 0.0
+	//swlint:hot
+	for i := 0; i < n; i++ {
+		total += scratch(4)[0]
+	}
+	return total
+}
+
+// GrowingAppend appends without preallocating; the mechanical fix
+// rewrites the declaration with the loop bound as capacity.
+func GrowingAppend(xs []float64) []float64 {
+	var out []float64
+	//swlint:hot
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// MapInLoop hashes per iteration.
+func MapInLoop(keys []string) map[string]int {
+	m := make(map[string]int)
+	//swlint:hot
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+// BoxInLoop boxes an int into an interface parameter per iteration.
+func BoxInLoop(n int) {
+	//swlint:hot
+	for i := 0; i < n; i++ {
+		sink(i)
+	}
+}
+
+// Preallocated appends into a capacity-sized slice: blessed.
+func Preallocated(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	//swlint:hot
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// Cold allocates in an unmarked loop: out of scope.
+func Cold(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

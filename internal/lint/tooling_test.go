@@ -106,15 +106,18 @@ func TestBaselineRoundTrip(t *testing.T) {
 		Message: "map iteration order reaches simulation state",
 		Reason:  "pre-existing; tracked for cleanup",
 	}}}
-	b := UpdateBaseline(prev, findings, cfg.ModuleRoot)
+	b := UpdateBaseline(prev, findings, cfg.ModuleRoot, "accepted while the metrics rework lands")
 	if len(b.Entries) != 2 {
 		t.Fatalf("baseline has %d entries, want 2 (bad-suppress is never baselined): %+v", len(b.Entries), b.Entries)
 	}
 	if b.Entries[0].Reason != "pre-existing; tracked for cleanup" {
 		t.Errorf("first entry reason = %q, want carried-forward reason", b.Entries[0].Reason)
 	}
-	if b.Entries[1].Reason != "TODO: justify or fix" {
-		t.Errorf("second entry reason = %q, want placeholder", b.Entries[1].Reason)
+	if b.Entries[1].Reason != "accepted while the metrics rework lands" {
+		t.Errorf("second entry reason = %q, want the supplied -baseline-reason", b.Entries[1].Reason)
+	}
+	if noReason := UpdateBaseline(prev, findings, cfg.ModuleRoot, ""); noReason.Entries[1].Reason != "TODO: justify or fix" {
+		t.Errorf("empty reason stamped %q, want the placeholder", noReason.Entries[1].Reason)
 	}
 
 	kept, stale := b.Filter(findings, cfg.ModuleRoot)

@@ -132,6 +132,7 @@ func RunLevel3CG(spec *machine.Spec, src dataset.Source, initial []float64, batc
 					winners[s] = best
 					counts[best]++
 				}
+				//swlint:hot per-sample stripe accumulation
 				for s := 0; s < m; s++ {
 					src.Sample(base+s, sample)
 					row := sums[winners[s]*dStripe : (winners[s]+1)*dStripe]

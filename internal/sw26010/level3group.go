@@ -235,6 +235,7 @@ func RunLevel3Group(spec *machine.Spec, src dataset.Source, initial []float64, m
 					dStripe := uHi - uLo
 					st := states[cp.ID()]
 					sample := make([]float64, d)
+					//swlint:hot per-sample stripe accumulation
 					for s := 0; s < m; s++ {
 						w := int(ids[s])
 						if w < kLo || w >= kHi {

@@ -138,6 +138,7 @@ func RunLevel1CG(spec *machine.Spec, src dataset.Source, initial []float64, maxI
 					src.Sample(base+s, stream[s*d:(s+1)*d])
 				}
 				engine.Charge(c.Clock(), m*d)
+				//swlint:hot per-sample CPE compute loop (Algorithm 1 lines 9-13)
 				for s := 0; s < m; s++ {
 					x := stream[s*d : (s+1)*d]
 					best, bestD := -1, 0.0
