@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck bench
+.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck servecheck bench
 
 # check is the full gate: build, vet, swlint, tests under the race
-# detector, the fault-injection smoke matrix, and the trace-export
-# determinism check.
-check: build vet lint race faultcheck obscheck
+# detector, the fault-injection smoke matrix, the trace-export
+# determinism check, and the online-serving chaos scenario.
+check: build vet lint race faultcheck obscheck servecheck
 
 build:
 	$(GO) build ./...
@@ -85,3 +85,11 @@ obscheck:
 	$(OBSBASE) -algo fine2 -mgroup 8 -trace-out $(OBSTMP)/d.json
 	cmp $(OBSTMP)/c.json $(OBSTMP)/d.json
 	rm -rf $(OBSTMP)
+
+# servecheck runs the online-serving degradation contract end to end:
+# swkmeansd under a seeded chaos plan (trainer crash at +0.6s, a
+# straggling query shard, 15% dropped publishes) with kmload asserting
+# zero non-shed failures, monotonic epochs, untorn responses and
+# advancing epochs, then a graceful SIGTERM drain (docs/SERVING.md).
+servecheck:
+	GO="$(GO)" sh scripts/servecheck.sh

@@ -452,12 +452,7 @@ func pairedNMI(src dataset.Source, refAssign, gotAssign []int, labeler func(int)
 // runInference classifies the dataset with a previously trained
 // centroid model: no training iterations, just the Assign step.
 func runInference(o options, src dataset.Source, labeler func(int) int) error {
-	f, err := os.Open(o.loadPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	cents, k, d, err := core.LoadCentroids(f)
+	cents, k, d, err := core.LoadCentroidsFile(o.loadPath)
 	if err != nil {
 		return err
 	}
@@ -638,13 +633,7 @@ func printQuality(w io.Writer, src dataset.Source, cents []float64, d int, assig
 }
 
 func saveModel(path string, cents []float64, k, d int) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := core.SaveCentroids(f, cents, k, d); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	// Crash-consistent: temp file + rename, with a checksum the loader
+	// verifies, so an interrupted -save never leaves a torn model.
+	return core.SaveCentroidsFile(path, cents, k, d)
 }

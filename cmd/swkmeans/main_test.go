@@ -51,7 +51,8 @@ func TestRunSaveModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Size() != 16+4*8*8 {
+	// v2 model files: 16-byte header + k*d float64 payload + 4-byte CRC.
+	if info.Size() != 16+4*8*8+4 {
 		t.Errorf("model file size %d", info.Size())
 	}
 }

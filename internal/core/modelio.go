@@ -1,19 +1,33 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Centroid model files use a small self-describing binary format:
 // magic, version, k, d as little-endian uint32 followed by k·d
-// float64 values.
+// float64 values. Version 2 appends a CRC-32 (IEEE) of the header and
+// payload, so restores detect torn or corrupted checkpoint files
+// instead of decoding garbage; version 1 (no checksum) is still read —
+// it is the in-memory checkpoint format the simulated engines price.
 const (
-	modelMagic   = 0x53574b4d // "SWKM"
-	modelVersion = 1
+	modelMagic           = 0x53574b4d // "SWKM"
+	modelVersion         = 1
+	modelVersionChecksum = 2
 )
+
+// ErrModelCorrupt marks a model file rejected as truncated or
+// corrupted; errors.Is(err, ErrModelCorrupt) identifies it through
+// wrapping so callers can fall back to an older checkpoint.
+var ErrModelCorrupt = errors.New("core: centroid model file is truncated or corrupt")
 
 // ModelBytes returns the serialized size of a k-by-d model in the
 // binary format: the four-word header plus the row-major float64
@@ -36,25 +50,124 @@ func SaveCentroids(w io.Writer, cents []float64, k, d int) error {
 	return nil
 }
 
-// LoadCentroids reads a centroid matrix written by SaveCentroids.
+// LoadCentroids reads a centroid matrix written by SaveCentroids (v1)
+// or SaveCentroidsFile (v2, checksummed). Truncated or corrupted input
+// is rejected with an error wrapping ErrModelCorrupt.
 func LoadCentroids(r io.Reader) (cents []float64, k, d int, err error) {
 	var hdr [4]uint32
 	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
-		return nil, 0, 0, fmt.Errorf("core: reading model header: %w", err)
+		return nil, 0, 0, fmt.Errorf("core: reading model header (%w): %w", err, ErrModelCorrupt)
 	}
 	if hdr[0] != modelMagic {
 		return nil, 0, 0, fmt.Errorf("core: not a centroid model file (magic %#x)", hdr[0])
 	}
-	if hdr[1] != modelVersion {
+	if hdr[1] != modelVersion && hdr[1] != modelVersionChecksum {
 		return nil, 0, 0, fmt.Errorf("core: unsupported model version %d", hdr[1])
 	}
 	k, d = int(hdr[2]), int(hdr[3])
 	if k < 1 || d < 1 || k > 1<<28 || d > 1<<28 {
 		return nil, 0, 0, fmt.Errorf("core: implausible model shape %dx%d", k, d)
 	}
+	payload := make([]byte, k*d*8)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, 0, fmt.Errorf(
+			"core: model payload for shape %dx%d is short (%w) — the writer likely died mid-write; restore an older checkpoint: %w",
+			k, d, err, ErrModelCorrupt)
+	}
+	if hdr[1] == modelVersionChecksum {
+		var want uint32
+		if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+			return nil, 0, 0, fmt.Errorf("core: model checksum is missing (%w): %w", err, ErrModelCorrupt)
+		}
+		crc := crc32.NewIEEE()
+		_ = binary.Write(crc, binary.LittleEndian, hdr[:])
+		crc.Write(payload)
+		if got := crc.Sum32(); got != want {
+			return nil, 0, 0, fmt.Errorf(
+				"core: model checksum mismatch (have %#x, want %#x) — the file is corrupt; restore an older checkpoint: %w",
+				got, want, ErrModelCorrupt)
+		}
+	}
 	cents = make([]float64, k*d)
-	if err := binary.Read(r, binary.LittleEndian, cents); err != nil {
-		return nil, 0, 0, fmt.Errorf("core: reading model payload: %w", err)
+	if err := binary.Read(bytes.NewReader(payload), binary.LittleEndian, cents); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: decoding model payload: %w", err)
+	}
+	return cents, k, d, nil
+}
+
+// SaveCentroidsFile writes a checkpoint crash-consistently: the
+// checksummed v2 model is written to a temporary file in the target's
+// directory, synced to stable storage, and renamed into place, so a
+// writer death at any point leaves either the old complete file or the
+// new complete file — never a torn checkpoint.
+func SaveCentroidsFile(path string, cents []float64, k, d int) (err error) {
+	if k < 1 || d < 1 || len(cents) != k*d {
+		return fmt.Errorf("core: centroid matrix %d does not match k=%d d=%d", len(cents), k, d)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	hdr := []uint32{modelMagic, modelVersionChecksum, uint32(k), uint32(d)}
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(tmp, crc)
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("core: writing checkpoint header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, cents); err != nil {
+		return fmt.Errorf("core: writing checkpoint payload: %w", err)
+	}
+	if err := binary.Write(tmp, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("core: writing checkpoint checksum: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: closing checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	// Best effort: persist the rename itself. Not all platforms support
+	// syncing a directory, so errors are ignored.
+	if df, derr := os.Open(dir); derr == nil {
+		_ = df.Sync()
+		df.Close()
+	}
+	return nil
+}
+
+// LoadCentroidsFile restores a checkpoint written by SaveCentroidsFile
+// (it also accepts legacy v1 files written through SaveCentroids).
+// Truncated, corrupted, or trailing-garbage files are rejected with an
+// actionable error wrapping ErrModelCorrupt.
+func LoadCentroidsFile(path string) (cents []float64, k, d int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: opening model %s: %w", path, err)
+	}
+	defer f.Close()
+	cents, k, d, err = LoadCentroids(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: restoring model %s: %w", path, err)
+	}
+	// A well-formed prefix followed by trailing bytes is still not a
+	// checkpoint this writer produced — reject it rather than silently
+	// ignoring data.
+	var extra [1]byte
+	if n, _ := f.Read(extra[:]); n != 0 {
+		return nil, 0, 0, fmt.Errorf(
+			"core: restoring model %s: trailing bytes after the %dx%d payload: %w",
+			path, k, d, ErrModelCorrupt)
 	}
 	return cents, k, d, nil
 }

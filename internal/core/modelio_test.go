@@ -3,6 +3,9 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -59,6 +62,138 @@ func TestLoadCentroidsRejectsGarbage(t *testing.T) {
 	truncated := bytes.NewReader(buf.Bytes()[:buf.Len()-4])
 	if _, _, _, err := LoadCentroids(truncated); err == nil {
 		t.Error("truncated payload accepted")
+	}
+}
+
+func TestSaveLoadCentroidsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.swkm")
+	cents := []float64{1.5, -2.25, 3.125, 0, 42, -1e-9}
+	if err := SaveCentroidsFile(path, cents, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, k, d, err := LoadCentroidsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || d != 3 {
+		t.Fatalf("shape %dx%d", k, d)
+	}
+	for i := range cents {
+		if got[i] != cents[i] {
+			t.Fatalf("element %d = %g, want %g", i, got[i], cents[i])
+		}
+	}
+	// The write must be atomic: no temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after save, want just the model", len(entries))
+	}
+	// A replacement save over the same path keeps the invariant.
+	if err := SaveCentroidsFile(path, []float64{9, 9, 9, 9, 9, 9}, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err = LoadCentroidsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("replacement save not visible: %v", got)
+	}
+}
+
+func TestLoadCentroidsFileRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.swkm")
+	cents := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := SaveCentroidsFile(path, cents, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix simulates a torn legacy write (the atomic
+	// writer can no longer produce one, but old files and foreign
+	// writers can): all must be rejected, and the payload-truncation
+	// message must be actionable.
+	for _, cut := range []int{len(whole) - 1, len(whole) - 5, 20, 16, 7, 0} {
+		torn := filepath.Join(dir, "torn.swkm")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := LoadCentroidsFile(torn)
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrModelCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrModelCorrupt", cut, err)
+		}
+	}
+	if _, _, _, err := LoadCentroidsFile(filepath.Join(dir, "missing.swkm")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadCentroidsFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.swkm")
+	if err := SaveCentroidsFile(path, []float64{1, 2, 3, 4}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bit flip inside the payload keeps the length intact; only the
+	// checksum can catch it.
+	flipped := append([]byte(nil), whole...)
+	flipped[16+3] ^= 0x40
+	bad := filepath.Join(dir, "flipped.swkm")
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = LoadCentroidsFile(bad)
+	if err == nil {
+		t.Fatal("bit-flipped payload accepted")
+	}
+	if !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("error %v does not wrap ErrModelCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error %v does not mention the checksum", err)
+	}
+	// Trailing garbage after a valid model is also not a checkpoint
+	// this writer produced.
+	trailing := filepath.Join(dir, "trailing.swkm")
+	if err := os.WriteFile(trailing, append(append([]byte(nil), whole...), 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadCentroidsFile(trailing); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestLoadCentroidsFileAcceptsLegacyV1(t *testing.T) {
+	// Files written by the pre-checksum SaveCentroids stream format
+	// must keep loading.
+	path := filepath.Join(t.TempDir(), "legacy.swkm")
+	var buf bytes.Buffer
+	cents := []float64{3, 1, 4, 1}
+	if err := SaveCentroids(&buf, cents, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, k, d, err := LoadCentroidsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || d != 2 || got[2] != 4 {
+		t.Fatalf("legacy load got %v (%dx%d)", got, k, d)
 	}
 }
 

@@ -145,11 +145,11 @@ func (p Plan) Validate() error {
 	if p.MaxRetries < 0 {
 		return fmt.Errorf("fault: max retries must be non-negative, got %d", p.MaxRetries)
 	}
-	if p.RetryBackoff < 0 || math.IsNaN(p.RetryBackoff) {
-		return fmt.Errorf("fault: retry backoff %v must be non-negative", p.RetryBackoff)
+	if p.RetryBackoff < 0 || math.IsNaN(p.RetryBackoff) || math.IsInf(p.RetryBackoff, 0) {
+		return fmt.Errorf("fault: retry backoff %v must be finite and non-negative", p.RetryBackoff)
 	}
-	if p.HeartbeatTimeout < 0 || math.IsNaN(p.HeartbeatTimeout) {
-		return fmt.Errorf("fault: heartbeat timeout %v must be non-negative", p.HeartbeatTimeout)
+	if p.HeartbeatTimeout < 0 || math.IsNaN(p.HeartbeatTimeout) || math.IsInf(p.HeartbeatTimeout, 0) {
+		return fmt.Errorf("fault: heartbeat timeout %v must be finite and non-negative", p.HeartbeatTimeout)
 	}
 	for _, l := range p.Links {
 		if l.FromCG < -1 || l.ToCG < -1 {

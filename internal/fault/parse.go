@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -89,6 +90,12 @@ func parseCrash(p *Plan, val string, span int) error {
 	idx, err := strconv.Atoi(unit)
 	if err != nil {
 		return err
+	}
+	// Bound the unit index before the span expansion: a huge index
+	// would overflow idx*span into a wrong-but-valid CG instead of
+	// failing validation.
+	if idx < 0 || idx > math.MaxInt32/span {
+		return fmt.Errorf("unit index %d outside [0,%d]", idx, math.MaxInt32/span)
 	}
 	t, err := strconv.ParseFloat(at, 64)
 	if err != nil {

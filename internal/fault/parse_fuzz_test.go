@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan proves the plan grammar is total: any input string
+// either parses into a plan that validates and compiles, or returns an
+// error — it never panics and never yields a plan the injector
+// rejects. (The fuzzer found the two repairs now in the parser: Inf
+// retry/heartbeat knobs slipping through Validate, and huge crashnode
+// indexes overflowing the span expansion into wrong-but-valid CGs.)
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"crash=3@0.002;dma=0.01;msg=0.005;link=0-1@0.001:0.004x8;slow=2x1.5",
+		"crashnode=1@3e-5; hb=1e-4",
+		"seed=11; dma=0.05; msg=0.05; retries=64",
+		"link=*@0:1x4; slow=2:13x1.5",
+		"backoff=2e-6",
+		// Malformed shapes the grammar must reject cleanly.
+		"crash=",
+		"crash=@",
+		"crash=x@y",
+		"crash=-1@0",
+		"crashnode=99999999999999999999@0",
+		"crashnode=4611686018427387904@0",
+		"dma=NaN",
+		"msg=2",
+		"backoff=+Inf",
+		"hb=Inf",
+		"link=0-1@2:1x4",
+		"link=*@0:1x0.5",
+		"slow=1x0.5",
+		"slow=1:x2",
+		"unknown=1",
+		"=x",
+		";;;,,,",
+		"crash=1@1e309",
+		"seed=18446744073709551616",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Bound pathological inputs: the grammar is line-sized.
+		if len(spec) > 4096 {
+			t.Skip()
+		}
+		p, err := ParsePlan(spec)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fault:") {
+				t.Fatalf("ParsePlan(%q) error %q is not a fault error", spec, err)
+			}
+			return
+		}
+		// A plan that parsed must validate and compile: ParsePlan's
+		// contract is that its output is usable as-is.
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan Validate rejects: %v", spec, verr)
+		}
+		if _, ierr := NewInjector(p); ierr != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan the injector rejects: %v", spec, ierr)
+		}
+	})
+}

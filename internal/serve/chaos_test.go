@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func mkChaos(t *testing.T, spec string) *Chaos {
+	t.Helper()
+	p, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChaos(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNilChaosIsInert(t *testing.T) {
+	var c *Chaos
+	if c.TrainerCrashDue(0) {
+		t.Error("nil chaos schedules crashes")
+	}
+	if got := c.TrainerCrashes(); got != nil {
+		t.Errorf("nil chaos crash offsets: %v", got)
+	}
+	if c.ShardDelay(0) != 0 || c.LinkDelay() != 0 {
+		t.Error("nil chaos injects latency")
+	}
+	if c.DropPublish(1) || c.RequestFault(1) {
+		t.Error("nil chaos drops or faults")
+	}
+}
+
+func TestChaosTrainerCrashMapping(t *testing.T) {
+	// Unit 0 is the trainer; other units are reserved and ignored.
+	c := mkChaos(t, "crash=0@0.5")
+	got := c.TrainerCrashes()
+	if len(got) != 1 || got[0] != 0.5 {
+		t.Fatalf("crash offsets %v, want [0.5]", got)
+	}
+	if c.TrainerCrashDue(0) {
+		t.Error("crash at +0.5s due immediately")
+	}
+	if c.TrainerCrashDue(1) {
+		t.Error("second crash due when only one is scheduled")
+	}
+	other := mkChaos(t, "crash=2@0.1")
+	if len(other.TrainerCrashes()) != 0 {
+		t.Errorf("non-trainer unit mapped to trainer crashes: %v", other.TrainerCrashes())
+	}
+	now := mkChaos(t, "crash=0@0")
+	time.Sleep(time.Millisecond)
+	if !now.TrainerCrashDue(0) {
+		t.Error("crash at +0s never comes due")
+	}
+}
+
+func TestChaosShardDelay(t *testing.T) {
+	c := mkChaos(t, "slow=1x5")
+	if d := c.ShardDelay(0); d != 0 {
+		t.Errorf("healthy shard delayed %v", d)
+	}
+	want := time.Duration(float64(c.Unit) * 4)
+	if d := c.ShardDelay(1); d != want {
+		t.Errorf("straggling shard delay %v, want %v", d, want)
+	}
+}
+
+func TestChaosLinkDelay(t *testing.T) {
+	// A whole-fabric window covering the run start delays every request.
+	c := mkChaos(t, "link=*@0:3600x3")
+	want := time.Duration(float64(c.Unit) * 2)
+	if d := c.LinkDelay(); d != want {
+		t.Errorf("degraded-fabric delay %v, want %v", d, want)
+	}
+	// A window in the far future does not.
+	later := mkChaos(t, "link=*@3000:3600x3")
+	if d := later.LinkDelay(); d != 0 {
+		t.Errorf("future window delays now: %v", d)
+	}
+}
+
+func TestChaosDropPublishDeterministic(t *testing.T) {
+	// The drop decision is a pure function of (seed, epoch): two
+	// adapters compiled from the same plan agree on every epoch, and the
+	// pattern is non-trivial at a middling rate.
+	a := mkChaos(t, "seed=7; msg=0.3")
+	b := mkChaos(t, "seed=7; msg=0.3")
+	drops := 0
+	for e := uint64(1); e <= 200; e++ {
+		da, db := a.DropPublish(e), b.DropPublish(e)
+		if da != db {
+			t.Fatalf("epoch %d: drop decision not deterministic (%v vs %v)", e, da, db)
+		}
+		if da {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 200 {
+		t.Fatalf("drop rate 0.3 produced %d/200 drops", drops)
+	}
+	// A different seed produces a different pattern somewhere.
+	other := mkChaos(t, "seed=8; msg=0.3")
+	same := true
+	for e := uint64(1); e <= 200; e++ {
+		if a.DropPublish(e) != other.DropPublish(e) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produce identical drop patterns")
+	}
+}
+
+func TestChaosRequestFaultDeterministic(t *testing.T) {
+	a := mkChaos(t, "seed=3; dma=0.2")
+	b := mkChaos(t, "seed=3; dma=0.2")
+	faults := 0
+	for seq := uint64(1); seq <= 200; seq++ {
+		fa, fb := a.RequestFault(seq), b.RequestFault(seq)
+		if fa != fb {
+			t.Fatalf("seq %d: fault decision not deterministic", seq)
+		}
+		if fa {
+			faults++
+		}
+	}
+	if faults == 0 || faults == 200 {
+		t.Fatalf("fault rate 0.2 produced %d/200 faults", faults)
+	}
+}

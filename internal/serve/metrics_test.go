@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestMetricsLatencyQuantiles(t *testing.T) {
+	m := &Metrics{}
+	if p50, p99 := m.quantiles(); p50 != 0 || p99 != 0 {
+		t.Errorf("empty reservoir quantiles %v/%v", p50, p99)
+	}
+	for i := 1; i <= 100; i++ {
+		m.ObserveLatency(time.Duration(i) * time.Millisecond)
+	}
+	p50, p99 := m.quantiles()
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+}
+
+func TestMetricsLatencyRingBounded(t *testing.T) {
+	m := &Metrics{}
+	for i := 0; i < latCap+500; i++ {
+		m.ObserveLatency(time.Millisecond)
+	}
+	m.mu.Lock()
+	n := len(m.lat)
+	m.mu.Unlock()
+	if n != latCap {
+		t.Fatalf("reservoir holds %d, cap is %d", n, latCap)
+	}
+}
+
+func TestMetricsSnapFields(t *testing.T) {
+	m := &Metrics{}
+	m.Served.Add(10)
+	m.Shed.Add(2)
+	var st Store
+	start := time.Now().Add(-2 * time.Second)
+	// Before any snapshot: age is the -1 sentinel, epoch 0.
+	s := m.Snap(&st, nil, start, 0, time.Time{})
+	if s.Epoch != 0 || s.SnapshotAgeMS != -1 {
+		t.Errorf("pre-publish snap epoch/age = %d/%d", s.Epoch, s.SnapshotAgeMS)
+	}
+	if s.Served != 10 || s.Shed != 2 {
+		t.Errorf("counters %d/%d", s.Served, s.Shed)
+	}
+	if s.QPS <= 0 {
+		t.Errorf("whole-run QPS %g with 10 served over ~2s", s.QPS)
+	}
+	if err := st.Publish(mkSnap(t, 7, []float64{1, 2}, 1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Snap(&st, nil, start, 0, time.Time{})
+	if s.Epoch != 7 || s.SnapshotAgeMS < 0 {
+		t.Errorf("post-publish snap epoch/age = %d/%d", s.Epoch, s.SnapshotAgeMS)
+	}
+}
+
+func TestMetricsWriterEmitsParsableJSONL(t *testing.T) {
+	m := &Metrics{}
+	var st Store
+	if err := st.Publish(mkSnap(t, 1, []float64{0, 0}, 1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mw := NewMetricsWriter(m, &st, nil, &buf, 5*time.Millisecond)
+	m.Served.Add(3)
+	time.Sleep(25 * time.Millisecond)
+	if err := mw.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s MetricsSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d is not a MetricsSnapshot: %v", lines, err)
+		}
+		if s.Epoch != 1 {
+			t.Errorf("line %d epoch %d", lines, s.Epoch)
+		}
+		lines++
+	}
+	// At least the ticks plus the final line from Stop.
+	if lines < 2 {
+		t.Fatalf("only %d JSONL lines emitted", lines)
+	}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func mkSnap(t *testing.T, epoch uint64, cents []float64, k, d, shards int) *Snapshot {
+	t.Helper()
+	s, err := NewSnapshot(epoch, cents, k, d, shards, 0, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSnapshotValidation(t *testing.T) {
+	if _, err := NewSnapshot(1, []float64{1, 2, 3}, 2, 2, 1, 0, "test"); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := NewSnapshot(1, nil, 0, 0, 1, 0, "test"); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestNewSnapshotShardPartition(t *testing.T) {
+	cases := []struct{ k, shards, want int }{
+		{10, 4, 4},
+		{10, 1, 1},
+		{3, 8, 3},  // clamped to k
+		{5, 0, 1},  // clamped to 1
+		{5, -2, 1}, // clamped to 1
+	}
+	for _, c := range cases {
+		cents := make([]float64, c.k*2)
+		s := mkSnap(t, 1, cents, c.k, 2, c.shards)
+		if len(s.Shards) != c.want {
+			t.Fatalf("k=%d shards=%d: got %d stripes, want %d", c.k, c.shards, len(s.Shards), c.want)
+		}
+		// The stripes must partition [0,k): contiguous, non-empty, total k.
+		lo := 0
+		for i, sh := range s.Shards {
+			if sh.Lo != lo || sh.Hi <= sh.Lo {
+				t.Fatalf("k=%d shards=%d: stripe %d is [%d,%d) after %d", c.k, c.shards, i, sh.Lo, sh.Hi, lo)
+			}
+			lo = sh.Hi
+		}
+		if lo != c.k {
+			t.Fatalf("k=%d shards=%d: stripes cover [0,%d), want [0,%d)", c.k, c.shards, lo, c.k)
+		}
+	}
+}
+
+func TestSnapshotCopiesCentroids(t *testing.T) {
+	cents := []float64{1, 2, 3, 4}
+	s := mkSnap(t, 1, cents, 2, 2, 2)
+	cents[0] = 99
+	if s.Centroids[0] != 1 {
+		t.Fatal("snapshot aliases the caller's centroid buffer")
+	}
+}
+
+// refAssign is the unsharded reference: scan the whole matrix, strict
+// less keeps the lowest index on ties — the semantics of
+// core.argminDistance the sharded merge must preserve.
+func refAssign(cents []float64, d int, x []float64) (int, float64) {
+	k := len(cents) / d
+	best, bestDist := -1, math.Inf(1)
+	for j := 0; j < k; j++ {
+		c := cents[j*d : (j+1)*d]
+		acc := 0.0
+		for u := 0; u < d; u++ {
+			diff := x[u] - c[u]
+			acc += diff * diff
+		}
+		if acc < bestDist {
+			best, bestDist = j, acc
+		}
+	}
+	return best, bestDist
+}
+
+func TestSnapshotAssignMatchesUnsharded(t *testing.T) {
+	// A deterministic centroid grid with deliberate duplicates so ties
+	// exercise the lowest-index rule across stripe boundaries.
+	const k, d = 17, 3
+	cents := make([]float64, k*d)
+	for j := 0; j < k; j++ {
+		for u := 0; u < d; u++ {
+			cents[j*d+u] = float64((j*7+u*3)%9) * 0.5
+		}
+	}
+	copy(cents[15*d:16*d], cents[2*d:3*d]) // duplicate of centroid 2
+	queries := [][]float64{
+		{0, 0, 0},
+		{1, 1.5, 2},
+		{4, 4, 4},
+		{0.99, 2.01, 3.5},
+		cents[2*d : 3*d], // exactly on the duplicated centroid
+	}
+	for _, shards := range []int{1, 2, 4, 5, 17} {
+		s := mkSnap(t, 1, cents, k, d, shards)
+		for qi, x := range queries {
+			wantJ, wantD := refAssign(cents, d, x)
+			gotJ, gotD, err := s.Assign(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotJ != wantJ || gotD != wantD {
+				t.Fatalf("shards=%d query %d: got (%d,%g), want (%d,%g)", shards, qi, gotJ, gotD, wantJ, wantD)
+			}
+		}
+	}
+}
+
+func TestSnapshotAssignValidatesDims(t *testing.T) {
+	s := mkSnap(t, 1, []float64{1, 2, 3, 4}, 2, 2, 2)
+	if _, _, err := s.Assign([]float64{1}, nil); err == nil {
+		t.Fatal("wrong-dimensionality query accepted")
+	}
+}
+
+func TestSnapshotAssignVisitAborts(t *testing.T) {
+	s := mkSnap(t, 1, []float64{0, 0, 10, 10}, 2, 2, 2)
+	calls := 0
+	wantErr := errChaosCrash // any sentinel
+	_, _, err := s.Assign([]float64{0, 0}, func(shard int) error {
+		calls++
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("visit error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("merge continued after visit error: %d calls", calls)
+	}
+}
+
+func TestStorePublishMonotonic(t *testing.T) {
+	var st Store
+	if st.Current() != nil {
+		t.Fatal("empty store has a snapshot")
+	}
+	if err := st.Publish(nil); err == nil {
+		t.Fatal("nil publish accepted")
+	}
+	if err := st.Publish(mkSnap(t, 3, []float64{1, 2}, 1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Equal and lower epochs are stale.
+	for _, e := range []uint64{3, 2, 1} {
+		if err := st.Publish(mkSnap(t, e, []float64{1, 2}, 1, 2, 1)); err == nil {
+			t.Fatalf("epoch %d accepted over live epoch 3", e)
+		}
+	}
+	if st.Rejected() != 3 {
+		t.Fatalf("Rejected = %d, want 3", st.Rejected())
+	}
+	// Gaps are legal.
+	if err := st.Publish(mkSnap(t, 10, []float64{1, 2}, 1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Current().Epoch != 10 {
+		t.Fatalf("live epoch %d, want 10", st.Current().Epoch)
+	}
+}
+
+func TestStoreConcurrentPublishersAndReaders(t *testing.T) {
+	// Racing publishers and readers: the live epoch must never move
+	// backwards from a reader's point of view, and every read must be a
+	// whole snapshot (epoch consistent with its payload).
+	var st Store
+	const writers, epochsPer = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for e := 1; e <= epochsPer; e++ {
+				epoch := uint64(e*writers + w)
+				// Encode the epoch into the payload so readers can detect
+				// a torn snapshot.
+				s, err := NewSnapshot(epoch, []float64{float64(epoch), float64(epoch)}, 1, 2, 1, 0, "race")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = st.Publish(s) // stale publishes are expected losses
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := st.Current()
+			if s == nil {
+				continue
+			}
+			if s.Epoch < last {
+				readErr <- fmt.Errorf("epoch regressed %d -> %d", last, s.Epoch)
+				return
+			}
+			last = s.Epoch
+			if s.Centroids[0] != float64(s.Epoch) || s.Centroids[1] != float64(s.Epoch) {
+				readErr <- fmt.Errorf("torn read at epoch %d: payload %v", s.Epoch, s.Centroids)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+	if st.Current() == nil {
+		t.Fatal("no snapshot survived the race")
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakChaosDegradation is the in-process soak harness of the
+// robustness contract (docs/SERVING.md): the full serving stack under a
+// seeded chaos plan — a trainer crash mid-run, a straggling query
+// shard, dropped publishes — with concurrent clients hammering the
+// query path. It asserts the whole contract at once:
+//
+//   - every query is answered (200) or cleanly shed (429/503/504) —
+//     zero error-storm responses;
+//   - snapshot epochs observed by each sequential client never regress
+//     (gaps are legal, regressions are torn-swap bugs);
+//   - responses are never torn: the answer shape always matches the
+//     question;
+//   - the trainer crash degrades and recovers: crashes and restarts are
+//     both observed, and epochs keep advancing;
+//   - the metrics snapshot stays consistent with the observed outcomes.
+//
+// Run it under -race (make check does) to promote the monotonicity and
+// torn-read assertions into a full memory-model check.
+func TestSoakChaosDegradation(t *testing.T) {
+	var st Store
+	m := &Metrics{}
+	chaos := mkChaos(t, "seed=7; crash=0@0.25; slow=1x4; msg=0.2")
+	tr, err := NewTrainer(TrainerConfig{
+		Store: &st, Metrics: m, Chaos: chaos,
+		Source: trainSource(t), K: 3,
+		BatchSamples: 64, Interval: 2 * time.Millisecond,
+		RestartBackoff: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Store: &st, Metrics: m, Trainer: tr, Chaos: chaos,
+		QueueDepth: 16, DefaultDeadline: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tr.Start()
+	defer tr.Stop()
+
+	waitFor(t, 10*time.Second, "first snapshot", func() bool { return st.Current() != nil })
+
+	const workers = 8
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	type tally struct {
+		answered, shed, notReady, deadline int
+		failures                           []string
+		maxEpoch                           uint64
+		degraded                           int
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			tl := &tallies[w]
+			var lastEpoch uint64
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				points := [][]float64{
+					{float64(w), float64(seq % 5), 0, 1},
+					{0, 0, float64(seq % 3), float64(w)},
+				}
+				raw, _ := json.Marshal(assignRequest{Points: points, DeadlineMS: 150})
+				resp, err := client.Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					tl.failures = append(tl.failures, fmt.Sprintf("transport: %v", err))
+					continue
+				}
+				var body assignResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.answered++
+					if decErr != nil {
+						tl.failures = append(tl.failures, fmt.Sprintf("seq %d: undecodable 200: %v", seq, decErr))
+						continue
+					}
+					// Torn-response checks: the answer matches the question
+					// and came from a real epoch.
+					if len(body.Assignments) != len(points) || len(body.Distances) != len(points) {
+						tl.failures = append(tl.failures, fmt.Sprintf("seq %d: %d answers for %d points", seq, len(body.Assignments), len(points)))
+					}
+					for _, a := range body.Assignments {
+						if a < 0 || a >= 3 {
+							tl.failures = append(tl.failures, fmt.Sprintf("seq %d: assignment %d outside [0,3)", seq, a))
+						}
+					}
+					if body.Epoch == 0 || body.StalenessMS < 0 {
+						tl.failures = append(tl.failures, fmt.Sprintf("seq %d: epoch %d staleness %d", seq, body.Epoch, body.StalenessMS))
+					}
+					// Sequential monotonicity per client: gaps fine,
+					// regressions never.
+					if body.Epoch < lastEpoch {
+						tl.failures = append(tl.failures, fmt.Sprintf("seq %d: epoch regressed %d -> %d", seq, lastEpoch, body.Epoch))
+					}
+					lastEpoch = body.Epoch
+					if body.Epoch > tl.maxEpoch {
+						tl.maxEpoch = body.Epoch
+					}
+					if body.Degraded {
+						tl.degraded++
+					}
+				case http.StatusTooManyRequests:
+					tl.shed++
+				case http.StatusServiceUnavailable:
+					tl.notReady++
+				case http.StatusGatewayTimeout:
+					tl.deadline++
+				default:
+					tl.failures = append(tl.failures, fmt.Sprintf("seq %d: status %d", seq, resp.StatusCode))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total, answered := 0, 0
+	var maxEpoch uint64
+	for w := range tallies {
+		tl := &tallies[w]
+		for _, f := range tl.failures {
+			t.Errorf("worker %d: %s", w, f)
+		}
+		total += tl.answered + tl.shed + tl.notReady + tl.deadline
+		answered += tl.answered
+		if tl.maxEpoch > maxEpoch {
+			maxEpoch = tl.maxEpoch
+		}
+	}
+	if answered == 0 {
+		t.Fatal("soak answered nothing")
+	}
+	if maxEpoch < 3 {
+		t.Errorf("epochs stalled at %d under chaos", maxEpoch)
+	}
+	// The scheduled crash at +0.25s fires inside the soak window; the
+	// supervisor must have recovered it.
+	if m.TrainerCrashes.Load() == 0 {
+		t.Error("scheduled trainer crash never fired")
+	}
+	if m.TrainerRestarts.Load() == 0 {
+		t.Error("trainer never restarted after its crash")
+	}
+	// msg=0.2 over dozens of publishes: drops must appear, and the
+	// store must never have seen a stale publish (gaps, not rewinds).
+	if m.DroppedPublishes.Load() == 0 {
+		t.Error("no publish was chaos-dropped at msg=0.2")
+	}
+	if st.Rejected() != 0 {
+		t.Errorf("store rejected %d publishes: the single-writer epoch discipline broke", st.Rejected())
+	}
+	// The metrics view agrees with the clients' tallies.
+	snap := m.Snap(&st, tr, time.Now().Add(-time.Second), 0, time.Time{})
+	if snap.Served < uint64(answered) {
+		t.Errorf("metrics served %d < client-observed %d", snap.Served, answered)
+	}
+	if snap.Panics != 0 {
+		t.Errorf("%d handler panics under soak", snap.Panics)
+	}
+	t.Logf("soak: %d outcomes (%d answered), max epoch %d, crashes %d, restarts %d, drops %d, shed %d, deadline %d",
+		total, answered, maxEpoch, m.TrainerCrashes.Load(), m.TrainerRestarts.Load(),
+		m.DroppedPublishes.Load(), m.Shed.Load(), m.Deadline.Load())
+}

@@ -130,6 +130,14 @@ func KMeans(src dataset.Source, k, chunkSize, maxIters int, seed uint64) (*Resul
 			reduced.Values = append(reduced.Values, cents...)
 			reduced.Weights = append(reduced.Weights, weights...)
 		}
+		if reduced.Len() >= level.Len() {
+			// A tight chunk (chunkSize < 2k) can make a reduction pass
+			// the identity — every part already holds at most 2k points,
+			// so clustering shrinks nothing and another pass would loop
+			// forever. The hierarchy is as reduced as it can get:
+			// cluster the remaining weighted set directly.
+			break
+		}
 		level = reduced
 	}
 	cents, _, err := WeightedKMeans(level, k, maxIters, seed+0xF17A1)

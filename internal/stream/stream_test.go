@@ -200,6 +200,109 @@ func TestWeightedKMeansValidation(t *testing.T) {
 	}
 }
 
+func TestKMeansFinalPartialChunk(t *testing.T) {
+	// n is not a chunk multiple and the final chunk holds fewer points
+	// than k: the chunk layer must clamp its intermediate 2k to the
+	// chunk population instead of failing or padding.
+	g := mixture(t, 130, 4, 2)
+	res, err := KMeans(g, 8, 32, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 5 { // 32+32+32+32+2
+		t.Errorf("Chunks = %d, want 5", res.Chunks)
+	}
+	if len(res.Centroids) != 8*4 {
+		t.Fatalf("centroid shape %d, want %d", len(res.Centroids), 8*4)
+	}
+	for i, v := range res.Centroids {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("centroid value %d is %v", i, v)
+		}
+	}
+	// A two-point final chunk (fewer points than k=8) must still
+	// contribute its mass: assignments over the whole stream stay
+	// total.
+	assign := assignAll(g, res.Centroids)
+	for i, a := range assign {
+		if a < 0 || a >= 8 {
+			t.Fatalf("sample %d assigned to %d", i, a)
+		}
+	}
+}
+
+func TestKMeansKLargerThanChunk(t *testing.T) {
+	// k exceeding the chunk capacity cannot work — each chunk must be
+	// able to hold k centroids "in memory" — and must be a clean error,
+	// not a panic or a silent degradation.
+	g := mixture(t, 500, 4, 2)
+	if _, err := KMeans(g, 64, 32, 10, 1); err == nil {
+		t.Fatal("k=64 with chunk=32 accepted")
+	}
+	// The boundary case chunk == k is legal.
+	if _, err := KMeans(g, 32, 32, 5, 1); err != nil {
+		t.Fatalf("k == chunk rejected: %v", err)
+	}
+}
+
+func TestWeightedKMeansZeroWeightPoints(t *testing.T) {
+	// Zero-weight points carry no mass: they may be assigned, but they
+	// must not move centroids, be chosen as initial centroids, or
+	// change the result at all relative to the same set without them.
+	base := &Weighted{
+		Values:  []float64{0, 0, 0.5, 0, 10, 10, 10.5, 10},
+		Weights: []float64{5, 3, 4, 2},
+		D:       2,
+	}
+	withZeros := &Weighted{
+		Values:  append(append([]float64{}, base.Values...), 99, 99, -7, 3),
+		Weights: append(append([]float64{}, base.Weights...), 0, 0),
+		D:       2,
+	}
+	want, wantMass, err := WeightedKMeans(base, 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotMass, err := WeightedKMeans(withZeros, 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero-weight points moved centroid %d: %v vs %v", i/2, got, want)
+		}
+	}
+	for j := range wantMass {
+		if gotMass[j] != wantMass[j] {
+			t.Fatalf("zero-weight points changed mass %d: %v vs %v", j, gotMass, wantMass)
+		}
+	}
+}
+
+func TestWeightedKMeansAllZeroWeights(t *testing.T) {
+	// A degenerate all-zero-mass set (every chunk centroid came up
+	// empty) must stay finite: no NaN centroids, zero masses.
+	w := &Weighted{
+		Values:  []float64{1, 2, 3, 4, 5, 6},
+		Weights: []float64{0, 0, 0},
+		D:       2,
+	}
+	cents, mass, err := WeightedKMeans(w, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cents {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("centroid value %d is %v", i, v)
+		}
+	}
+	for j, m := range mass {
+		if m != 0 {
+			t.Errorf("mass %d = %g, want 0", j, m)
+		}
+	}
+}
+
 func BenchmarkStreamKMeans(b *testing.B) {
 	g := mixture(b, 2048, 8, 4)
 	b.ResetTimer()

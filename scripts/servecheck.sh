@@ -1,0 +1,82 @@
+#!/bin/sh
+# servecheck drives the online-serving degradation contract end to end
+# (docs/SERVING.md): swkmeansd under a seeded chaos plan — a trainer
+# crash mid-run, a straggling query shard, dropped publishes — with
+# kmload hammering it. It fails unless every query is answered or
+# cleanly shed, epochs never regress, responses are never torn, epochs
+# keep advancing through the crash, and the daemon drains cleanly on
+# SIGTERM.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DAEMON_PID=
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -KILL "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "servecheck: building"
+$GO build -o "$TMP/swkmeansd" ./cmd/swkmeansd
+$GO build -o "$TMP/kmload" ./cmd/kmload
+
+# The chaos scenario ISSUE-level gates demand: the trainer is killed
+# 0.6s in (and must restart), shard 1 straggles, 15% of publishes are
+# dropped (epoch gaps, never regressions).
+echo "servecheck: starting swkmeansd under chaos"
+"$TMP/swkmeansd" \
+    -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+    -k 8 -d 16 -shards 4 \
+    -train-interval 5ms -restart-backoff 100ms \
+    -chaos "seed=7; crash=0@0.6; slow=1x6; msg=0.15" \
+    -metrics-out "$TMP/metrics.jsonl" -metrics-interval 200ms \
+    >"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+echo "servecheck: loading"
+if ! "$TMP/kmload" \
+    -addr-file "$TMP/addr" \
+    -duration 2s -concurrency 8 -points 4 \
+    -min-served 100 -min-epochs 3 \
+    >"$TMP/report.json"; then
+    echo "servecheck: FAIL: kmload found contract violations" >&2
+    cat "$TMP/report.json" >&2
+    echo "--- daemon log ---" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+cat "$TMP/report.json"
+
+# The scheduled crash must actually have fired and been supervised
+# back to life — otherwise the scenario tested nothing.
+if ! grep -q "trainer died" "$TMP/daemon.log"; then
+    echo "servecheck: FAIL: the chaos trainer crash never fired" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+
+echo "servecheck: draining"
+kill -TERM "$DAEMON_PID"
+DRAIN_RC=0
+wait "$DAEMON_PID" || DRAIN_RC=$?
+if [ "$DRAIN_RC" -ne 0 ]; then
+    echo "servecheck: FAIL: daemon exited $DRAIN_RC on SIGTERM" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+DAEMON_PID=
+if ! grep -q "drained cleanly" "$TMP/daemon.log"; then
+    echo "servecheck: FAIL: no clean-drain confirmation" >&2
+    cat "$TMP/daemon.log" >&2
+    exit 1
+fi
+if ! [ -s "$TMP/metrics.jsonl" ]; then
+    echo "servecheck: FAIL: no metrics JSONL written" >&2
+    exit 1
+fi
+
+echo "servecheck: ok"
