@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck servecheck bench
+.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck schedcheck servecheck bench
 
 # check is the full gate: build, vet, swlint, tests under the race
 # detector, the fault-injection smoke matrix, the trace-export
-# determinism check, and the online-serving chaos scenario.
-check: build vet lint race faultcheck obscheck servecheck
+# determinism check, the 4,096-rank scheduler gate, and the
+# online-serving chaos scenario.
+check: build vet lint race faultcheck obscheck schedcheck servecheck
 
 build:
 	$(GO) build ./...
@@ -85,6 +86,14 @@ obscheck:
 	$(OBSBASE) -algo fine2 -mgroup 8 -trace-out $(OBSTMP)/d.json
 	cmp $(OBSTMP)/c.json $(OBSTMP)/d.json
 	rm -rf $(OBSTMP)
+
+# schedcheck is the discrete-event scheduler gate: a seeded 4,096-rank
+# Figure 6b smoke run executes twice under the DES driver to
+# byte-identical traces, the analytic model must agree with the
+# executed iteration time within the perfmodel consistency tolerance,
+# and a crash+straggler fault plan must recover deterministically.
+schedcheck:
+	$(GO) run ./cmd/benchfig -schedcheck
 
 # servecheck runs the online-serving degradation contract end to end:
 # swkmeansd under a seeded chaos plan (trainer crash at +0.6s, a

@@ -21,8 +21,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/machine"
+	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // reportSeries feeds one model point's seconds into the benchmark
@@ -316,4 +319,73 @@ func BenchmarkFig10LandCover(b *testing.B) {
 	}
 	b.ReportMetric(res.MeanIterTime(), "sim-s/iter")
 	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkSchedEventThroughput measures the discrete-event
+// scheduler's raw dispatch rate: a token ring over 4,096 coroutine
+// tasks where every hop is one wake + one park handshake. The
+// events/s metric is the budget everything built on the DES driver
+// (collectives, barriers, full Figure 6b runs) spends from.
+func BenchmarkSchedEventThroughput(b *testing.B) {
+	const tasks, laps = 4096, 8
+	for i := 0; i < b.N; i++ {
+		sim := sched.New()
+		ts := make([]*sched.Task, tasks)
+		for u := 0; u < tasks; u++ {
+			u := u
+			ts[u] = sim.Spawn(u, 0, func(t *sched.Task) {
+				for lap := 0; lap < laps; lap++ {
+					ts[(u+1)%tasks].Wake(sim.Now())
+					if lap < laps-1 {
+						t.Park()
+					}
+				}
+			})
+		}
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks*laps*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// benchSchedCollective hosts one world-sized collective per iteration
+// on the DES driver — world sizes far past what goroutine-per-rank
+// setups sustain.
+func benchSchedCollective(b *testing.B, ranks int, body func(c *mpi.Comm) error) {
+	spec := machine.MustSpec((ranks + 3) / 4)
+	for i := 0; i < b.N; i++ {
+		w, err := mpi.NewWorld(spec, trace.NewStats(), ranks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.SetDriver(mpi.DriverSched)
+		if err := w.Run(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedBarrier runs a dissemination barrier over 10k- and
+// 100k-rank DES worlds.
+func BenchmarkSchedBarrier(b *testing.B) {
+	for _, ranks := range []int{10_000, 100_000} {
+		b.Run(itoa(ranks)+"ranks", func(b *testing.B) {
+			benchSchedCollective(b, ranks, func(c *mpi.Comm) error {
+				return c.Barrier()
+			})
+		})
+	}
+}
+
+// BenchmarkSchedAllReduce runs a world AllReduce of one scalar over
+// 10k- and 100k-rank DES worlds.
+func BenchmarkSchedAllReduce(b *testing.B) {
+	for _, ranks := range []int{10_000, 100_000} {
+		b.Run(itoa(ranks)+"ranks", func(b *testing.B) {
+			benchSchedCollective(b, ranks, func(c *mpi.Comm) error {
+				return c.AllReduceSum([]float64{1}, nil)
+			})
+		})
+	}
 }

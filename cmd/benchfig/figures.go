@@ -52,7 +52,7 @@ func figureThree(c *ctx) error {
 		"k", "sim s/iter")
 	for _, k := range []int{16, 32, 64, 128, 256} {
 		res, err := core.Run(core.Config{
-			Spec: machine.MustSpec(1), Level: core.Level1, K: k, MaxIters: 2, Seed: 1,
+			Spec: machine.MustSpec(1), Level: core.Level1, K: k, MaxIters: 2, Seed: 1, Sched: c.sched,
 		}, src)
 		if err != nil {
 			return err
@@ -79,7 +79,7 @@ func figureFour(c *ctx) error {
 		"k", "sim s/iter")
 	for _, k := range []int{512, 1024, 2048} {
 		res, err := core.Run(core.Config{
-			Spec: machine.MustSpec(1), Level: core.Level2, K: k, MaxIters: 1, Seed: 1, SampleStride: 4,
+			Spec: machine.MustSpec(1), Level: core.Level2, K: k, MaxIters: 1, Seed: 1, SampleStride: 4, Sched: c.sched,
 		}, src)
 		if err != nil {
 			return err
@@ -106,7 +106,7 @@ func figureFive(c *ctx) error {
 	}
 	for _, k := range []int{128, 256, 512} {
 		res, err := core.Run(core.Config{
-			Spec: machine.MustSpec(2), Level: core.Level3, K: k, MaxIters: 1, Seed: 1, SampleStride: 8,
+			Spec: machine.MustSpec(2), Level: core.Level3, K: k, MaxIters: 1, Seed: 1, SampleStride: 8, Sched: c.sched,
 		}, src)
 		if err != nil {
 			return err
@@ -127,7 +127,75 @@ func figureSix(c *ctx) error {
 		"nodes", []perfmodel.Series{perfmodel.Figure6Nodes()})); err != nil {
 		return err
 	}
-	return c.plotSeries("Figure 6b (model, log y)", []perfmodel.Series{perfmodel.Figure6Nodes()})
+	if err := c.plotSeries("Figure 6b (model, log y)", []perfmodel.Series{perfmodel.Figure6Nodes()}); err != nil {
+		return err
+	}
+	if !c.functional {
+		return nil
+	}
+	return figureSixFunctional(c)
+}
+
+// Figure 6b DES sweep shape: the full published sample count and
+// centroid count on up to 1,024 nodes = 4,096 ranks — the paper's
+// whole-machine configuration, executed in-process by the
+// discrete-event driver rather than extrapolated by the model. The
+// dimension is reduced (d=196,608 would move terabytes of centroid
+// slices) and samples are strided; simulated time still charges the
+// full dataflow, so the node-scaling shape survives. MPrime is pinned
+// so per-rank centroid slices stay small at every node count, and the
+// model column re-uses the same pin via Scenario.MPrime.
+const (
+	f6bD      = 1024
+	f6bK      = 2000
+	f6bMPrime = 128
+)
+
+// f6bNodes and f6bStride are variables so the test suite can shrink
+// the sweep — the race detector multiplies the 4,096-rank points'
+// cost several-fold. The CLI always runs this full list, and make
+// schedcheck re-pins the 4,096-rank scale in CI on every push.
+var (
+	f6bNodes  = []int{128, 512, 1024}
+	f6bStride = 2048
+)
+
+func figureSixFunctional(c *ctx) error {
+	src, err := dataset.ImgNet(f6bD, 1)
+	if err != nil {
+		return err
+	}
+	// The model column is de-calibrated (divided by CalibrationFactor)
+	// to the simulator's theoretical-bandwidth scale, the same
+	// comparison the perfmodel consistency suite makes.
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6b functional cross-check — full n=%d, d=%d, k=%d, DES driver [simulator, uncalibrated]",
+			src.N(), f6bD, f6bK),
+		"nodes", "ranks", "sim s/iter", "model s/iter", "model/sim")
+	for _, nodes := range f6bNodes {
+		row := []string{fmt.Sprintf("%d", nodes), fmt.Sprintf("%d", 4*nodes)}
+		res, err := core.Run(core.Config{
+			Spec: machine.MustSpec(nodes), Level: core.Level3, K: f6bK,
+			MPrimeGroup: f6bMPrime, MaxIters: 1, Seed: 1,
+			SampleStride: f6bStride, Sched: true,
+		}, src)
+		if err != nil {
+			t.AddStringRow(append(row, "cannot run", "", "")...)
+			continue
+		}
+		sim := res.MeanIterTime()
+		row = append(row, fmt.Sprintf("%.6f", sim))
+		pred, err := perfmodel.Predict(core.Level3, perfmodel.Scenario{
+			Nodes: nodes, N: src.N(), K: f6bK, D: f6bD, MPrime: f6bMPrime,
+		})
+		if err != nil {
+			t.AddStringRow(append(row, "cannot model", "")...)
+			continue
+		}
+		model := pred.Total / perfmodel.CalibrationFactor
+		t.AddStringRow(append(row, fmt.Sprintf("%.6f", model), fmt.Sprintf("%.2f", model/sim))...)
+	}
+	return c.emit(t)
 }
 
 func figureSeven(c *ctx) error {
@@ -153,7 +221,7 @@ func figureSeven(c *ctx) error {
 		row := []string{fmt.Sprintf("%d", d)}
 		for _, lv := range []core.Level{core.Level2, core.Level3} {
 			res, err := core.Run(core.Config{
-				Spec: machine.MustSpec(2), Level: lv, K: 200, MaxIters: 1, Seed: 1, SampleStride: 8,
+				Spec: machine.MustSpec(2), Level: lv, K: 200, MaxIters: 1, Seed: 1, SampleStride: 8, Sched: c.sched,
 			}, src)
 			if err != nil {
 				row = append(row, "cannot run")
@@ -188,7 +256,7 @@ func figureEight(c *ctx) error {
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, lv := range []core.Level{core.Level2, core.Level3} {
 			res, err := core.Run(core.Config{
-				Spec: machine.MustSpec(2), Level: lv, K: k, MaxIters: 1, Seed: 1, SampleStride: 8,
+				Spec: machine.MustSpec(2), Level: lv, K: k, MaxIters: 1, Seed: 1, SampleStride: 8, Sched: c.sched,
 			}, src)
 			if err != nil {
 				row = append(row, "cannot run")
@@ -223,7 +291,7 @@ func figureNine(c *ctx) error {
 		row := []string{fmt.Sprintf("%d", nodes)}
 		for _, lv := range []core.Level{core.Level2, core.Level3} {
 			res, err := core.Run(core.Config{
-				Spec: machine.MustSpec(nodes), Level: lv, K: 200, MaxIters: 1, Seed: 1, SampleStride: 8,
+				Spec: machine.MustSpec(nodes), Level: lv, K: 200, MaxIters: 1, Seed: 1, SampleStride: 8, Sched: c.sched,
 			}, src)
 			if err != nil {
 				row = append(row, "cannot run")

@@ -32,11 +32,20 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot       = flag.Bool("plot", false, "render ASCII charts of the model series after each figure")
 		sweepArg   = flag.String("sweep", "", `custom sweep, e.g. "level=0;nodes=128;n=1265723;k=2000;d=512..8192:512"`)
+		sched      = flag.Bool("sched", false, "run functional cross-checks on the discrete-event scheduler driver (bit-identical to the goroutine driver; the Figure 6b sweep always uses it)")
+		schedcheck = flag.Bool("schedcheck", false, "run the scheduler gate: a seeded 4,096-rank Figure 6b smoke under the DES driver, plus a crash+straggler fault plan, asserting two-run determinism and perfmodel agreement; exits non-zero on failure")
 	)
 	flag.Parse()
 	out := os.Stdout
+	if *schedcheck {
+		if err := runSchedCheck(out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig: schedcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sweepArg != "" {
-		c := &ctx{out: out, plot: *plot && !*csv}
+		c := &ctx{out: out, plot: *plot && !*csv, sched: *sched}
 		c.emit = emitter(out, *csv)
 		if err := customSweep(c, *sweepArg); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfig:", err)
@@ -44,7 +53,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(out, *fig, *table, *all, *functional, *csv, *plot); err != nil {
+	if err := run(out, *fig, *table, *all, *functional, *csv, *plot, *sched); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
@@ -57,6 +66,12 @@ type ctx struct {
 	emit       func(*report.Table) error
 	functional bool
 	plot       bool
+	// sched runs the functional cross-checks on the discrete-event
+	// scheduler driver. Results are bit-identical either way (the
+	// golden suite pins that); the flag exists to exercise the DES
+	// path from the CLI. The Figure 6b sweep ignores it and always
+	// uses the DES driver — 4,096 ranks is what that driver is for.
+	sched bool
 }
 
 // plotSeries renders an ASCII chart of model series (log-y: the
@@ -109,8 +124,8 @@ func emitter(out io.Writer, csv bool) func(*report.Table) error {
 	}
 }
 
-func run(out io.Writer, fig, table int, all, functional, csv, plot bool) error {
-	c := &ctx{out: out, functional: functional, plot: plot && !csv}
+func run(out io.Writer, fig, table int, all, functional, csv, plot, sched bool) error {
+	c := &ctx{out: out, functional: functional, plot: plot && !csv, sched: sched}
 	c.emit = emitter(out, csv)
 	type job struct {
 		enabled bool

@@ -7,14 +7,14 @@ import (
 
 func TestRunSelectsNothing(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 0, 0, false, false, false, false); err == nil {
+	if err := run(&b, 0, 0, false, false, false, false, false); err == nil {
 		t.Error("no selection accepted")
 	}
 }
 
 func TestRunFigure10Hint(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 10, 0, false, false, false, false); err != nil {
+	if err := run(&b, 10, 0, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "cmd/landcover") {
@@ -24,7 +24,7 @@ func TestRunFigure10Hint(t *testing.T) {
 
 func TestRunSingleTable(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 0, 1, false, false, false, false); err != nil {
+	if err := run(&b, 0, 1, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -37,7 +37,7 @@ func TestRunSingleTable(t *testing.T) {
 
 func TestRunFigureSeven(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 7, 0, false, false, false, false); err != nil {
+	if err := run(&b, 7, 0, false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -50,7 +50,7 @@ func TestRunFigureSeven(t *testing.T) {
 
 func TestRunFigureSevenFunctional(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 7, 0, false, true, false, false); err != nil {
+	if err := run(&b, 7, 0, false, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "functional cross-check") {
@@ -60,7 +60,7 @@ func TestRunFigureSevenFunctional(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 0, 2, false, false, true, false); err != nil {
+	if err := run(&b, 0, 2, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -75,7 +75,7 @@ func TestRunCSVMode(t *testing.T) {
 func TestRunAllTablesAndModelFigures(t *testing.T) {
 	// -all without -functional exercises every model exhibit quickly.
 	var b strings.Builder
-	if err := run(&b, 0, 0, true, false, false, false); err != nil {
+	if err := run(&b, 0, 0, true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -92,15 +92,24 @@ func TestRunAllTablesAndModelFigures(t *testing.T) {
 
 func TestRunAllFunctional(t *testing.T) {
 	// Every figure with its reduced-scale functional cross-check: the
-	// full harness end to end.
+	// full harness end to end. The Figure 6b DES sweep is shrunk to
+	// one 512-rank point at a coarser stride — the full 4,096-rank
+	// list is the CLI default and is exercised by make schedcheck;
+	// under the race detector the full sweep costs minutes.
+	savedNodes, savedStride := f6bNodes, f6bStride
+	f6bNodes, f6bStride = []int{128}, 16384
+	t.Cleanup(func() { f6bNodes, f6bStride = savedNodes, savedStride })
 	var b strings.Builder
-	if err := run(&b, 0, 0, true, true, false, false); err != nil {
+	if err := run(&b, 0, 0, true, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if strings.Count(out, "functional cross-check") < 5 {
-		t.Errorf("expected at least 5 functional sections, got %d",
+	if strings.Count(out, "functional cross-check") < 6 {
+		t.Errorf("expected at least 6 functional sections, got %d",
 			strings.Count(out, "functional cross-check"))
+	}
+	if !strings.Contains(out, "DES driver") {
+		t.Error("figure 6b DES sweep section missing")
 	}
 	// Functional Figure 7 must reproduce the who-wins flip: at the
 	// largest functional d, Level 3's column value is below Level 2's.
@@ -128,7 +137,7 @@ func TestRunAllFunctional(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 9, 0, false, false, false, true); err != nil {
+	if err := run(&b, 9, 0, false, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -146,5 +155,21 @@ func TestSortInts(t *testing.T) {
 		if xs[i] < xs[i-1] {
 			t.Fatalf("not sorted: %v", xs)
 		}
+	}
+}
+
+func TestRunFigureSixFunctional(t *testing.T) {
+	// One reduced point of the DES sweep (512 ranks, coarse stride);
+	// the full 4,096-rank list runs via the CLI and make schedcheck.
+	savedNodes, savedStride := f6bNodes, f6bStride
+	f6bNodes, f6bStride = []int{128}, 16384
+	t.Cleanup(func() { f6bNodes, f6bStride = savedNodes, savedStride })
+	var b strings.Builder
+	if err := run(&b, 6, 0, false, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "DES driver") || !strings.Contains(out, "model/sim") {
+		t.Errorf("figure 6b DES sweep output unexpected: %q", out)
 	}
 }

@@ -60,6 +60,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the simulated run to this file (see docs/OBSERVABILITY.md)")
 		metricsOut = flag.String("metrics-out", "", "write a JSONL span and per-iteration metrics log of the simulated run to this file")
 		timeline   = flag.Bool("timeline", false, "render an ASCII per-rank virtual-time timeline after the run")
+		schedFlag  = flag.Bool("sched", false, "run the simulated machine on the discrete-event scheduler driver (bit-identical to the default goroutine driver; scales to thousands of ranks)")
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile of this process to the given file")
 		memprofile = flag.String("memprofile", "", "write a host heap profile to the given file on exit")
 	)
@@ -89,6 +90,7 @@ func main() {
 		preset: *preset, specPath: *specPath,
 		faults: faults, ckpt: *ckpt, dropLost: *dropLost,
 		traceOut: *traceOut, metricsOut: *metricsOut, timeline: *timeline,
+		sched: *schedFlag,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -150,6 +152,7 @@ type options struct {
 	dropLost                bool
 	traceOut, metricsOut    string
 	timeline                bool
+	sched                   bool
 	rec                     *obs.Recorder
 }
 
@@ -272,6 +275,7 @@ func run(o options) error {
 		SampleStride: o.stride,
 		MGroup:       o.mgroup,
 		MPrimeGroup:  o.mprime,
+		Sched:        o.sched,
 		Stats:        stats,
 	}
 	if o.useKpp {

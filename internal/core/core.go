@@ -152,6 +152,14 @@ type Config struct {
 	// graceful degradation trading clustering quality for recovery
 	// traffic. Dropped samples end the run with assignment -1.
 	DropLostShards bool
+	// Sched runs the epoch engine's MPI substrate on the discrete-event
+	// scheduler driver instead of goroutine-per-rank: ranks become
+	// coroutine tasks on a deterministic event heap, which is
+	// bit-identical to the default driver (golden-locked) and hosts
+	// thousands of ranks in-process — the driver behind the full
+	// 4,096-rank Figure 6(b) simulation. The fine-grained CPE kernels
+	// (internal/sw26010) keep their own substrate either way.
+	Sched bool
 	// Stats receives traffic counters; optional.
 	Stats *trace.Stats
 	// Obs, when non-nil, records the span-level virtual-time trace of

@@ -34,6 +34,13 @@ type iterEngine interface {
 	// model carve their slice out of it here, which is what re-stripes
 	// centroids after a Level-3 re-plan changed the CG-group size.
 	setup(work *mpi.Comm, env *epochEnv, cents []float64) (engineState, error)
+	// adoptsModel reports whether setup keeps (and mutates) the full
+	// cents matrix it was given. Replicated engines do, so every rank
+	// needs a private copy; striping engines copy their stripe out and
+	// may share one read-only matrix — at thousands of ranks a private
+	// k·d copy apiece is the difference between megabytes and tens of
+	// gigabytes.
+	adoptsModel() bool
 }
 
 // engineState is one rank's view of one epoch.
@@ -144,6 +151,9 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Sched {
+		world.SetDriver(mpi.DriverSched)
+	}
 	world.SetObserver(cfg.Obs)
 	// The marker track: rank 0 stamps iteration, checkpoint and redo
 	// boundaries on it, one shared timeline above the per-rank lanes.
@@ -248,10 +258,18 @@ func runEngine(cfg Config, src dataset.Source, plan Plan, eng iterEngine) (*Resu
 			// Restore: rank 0 reads the last checkpoint back from stable
 			// storage and broadcasts it; before the first checkpoint
 			// every rank derives the initial centroids locally, like the
-			// fault-free engines.
-			cents := append([]float64(nil), init...)
+			// fault-free engines. Engines that stripe the model read
+			// the shared initial matrix in place; a private buffer is
+			// only materialized when a restore must overwrite it.
+			cents := init
+			if eng.adoptsModel() {
+				cents = append([]float64(nil), init...)
+			}
 			startIter := 0
 			if data, ckIter, _ := store.load(); data != nil {
+				if !eng.adoptsModel() {
+					cents = append([]float64(nil), init...)
+				}
 				t0 := work.Clock().Now()
 				om := u.Begin(t0)
 				err := func() error {

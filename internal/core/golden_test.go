@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -113,6 +115,17 @@ func goldenCases(t *testing.T) []struct {
 	}
 }
 
+// drivers are the execution engines every golden scenario must agree
+// across bit for bit: the default goroutine-per-rank driver and the
+// discrete-event scheduler driver.
+var drivers = []struct {
+	name  string
+	sched bool
+}{
+	{"goroutine", false},
+	{"sched", true},
+}
+
 func TestEngineGoldenParity(t *testing.T) {
 	update := os.Getenv("UPDATE_GOLDEN") != ""
 	for _, tc := range goldenCases(t) {
@@ -170,6 +183,96 @@ func TestEngineGoldenParity(t *testing.T) {
 			if len(rec.Objectives) > 0 {
 				compareBits(t, "objective", res.Objectives, bitsToFloats(t, rec.Objectives))
 			}
+		})
+	}
+}
+
+// TestEngineDualDriverParity runs every golden scenario under both
+// execution drivers with full observability on and requires the
+// outcomes to be indistinguishable: bit-identical centroids,
+// per-iteration virtual times (the clocks), objectives, assignments,
+// and byte-identical exported traces and metrics. This is the
+// bit-exactness contract of the DES refactor — the driver may only
+// change how the simulation executes, never what it computes.
+func TestEngineDualDriverParity(t *testing.T) {
+	type outcome struct {
+		res     *Result
+		trace   []byte
+		metrics []byte
+	}
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := make(map[string]outcome, len(drivers))
+			for _, drv := range drivers {
+				cfg := tc.cfg
+				cfg.Stats = trace.NewStats()
+				cfg.Sched = drv.sched
+				cfg.Obs = obs.NewRecorder()
+				res, err := Run(cfg, tc.src)
+				if err != nil {
+					t.Fatalf("%s driver: %v", drv.name, err)
+				}
+				var tr, mx bytes.Buffer
+				if err := obs.WriteTraceEvents(&tr, cfg.Obs); err != nil {
+					t.Fatalf("%s driver trace export: %v", drv.name, err)
+				}
+				if err := obs.WriteMetricsJSONL(&mx, cfg.Obs); err != nil {
+					t.Fatalf("%s driver metrics export: %v", drv.name, err)
+				}
+				runs[drv.name] = outcome{res: res, trace: tr.Bytes(), metrics: mx.Bytes()}
+			}
+			g, s := runs["goroutine"], runs["sched"]
+			if g.res.Iters != s.res.Iters || g.res.Converged != s.res.Converged {
+				t.Errorf("iters/converged: goroutine %d/%v, sched %d/%v",
+					g.res.Iters, g.res.Converged, s.res.Iters, s.res.Converged)
+			}
+			for i := range g.res.Assign {
+				if g.res.Assign[i] != s.res.Assign[i] {
+					t.Fatalf("assign[%d]: goroutine %d, sched %d", i, g.res.Assign[i], s.res.Assign[i])
+				}
+			}
+			compareBits(t, "centroid", s.res.Centroids, g.res.Centroids)
+			compareBits(t, "iter time", s.res.IterTimes, g.res.IterTimes)
+			compareBits(t, "objective", s.res.Objectives, g.res.Objectives)
+			if !bytes.Equal(g.trace, s.trace) {
+				t.Error("exported Chrome traces differ between drivers")
+			}
+			if !bytes.Equal(g.metrics, s.metrics) {
+				t.Error("exported metrics JSONL differs between drivers")
+			}
+		})
+	}
+}
+
+// TestEngineGoldenParitySched replays the golden comparison itself
+// under the DES driver: not just driver-vs-driver equality, but
+// equality with the recorded pre-refactor runs.
+func TestEngineGoldenParitySched(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		t.Skip("golden records are regenerated by TestEngineGoldenParity under the default driver")
+	}
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Stats = trace.NewStats()
+			cfg.Sched = true
+			res, err := Run(cfg, tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(filepath.Join("testdata", "golden_"+tc.name+".json"))
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+			}
+			var rec goldenRecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if res.Iters != rec.Iters || res.Converged != rec.Converged {
+				t.Errorf("iters/converged = %d/%v, golden %d/%v", res.Iters, res.Converged, rec.Iters, rec.Converged)
+			}
+			compareBits(t, "centroid", res.Centroids, bitsToFloats(t, rec.Centroids))
+			compareBits(t, "iter time", res.IterTimes, bitsToFloats(t, rec.IterTimes))
 		})
 	}
 }

@@ -111,6 +111,10 @@ func (level3Engine) replan(env *epochEnv) error {
 	return nil
 }
 
+// adoptsModel is false: setup copies this rank's stripe out of cents
+// and never touches the matrix again, so all ranks may share it.
+func (level3Engine) adoptsModel() bool { return false }
+
 func (level3Engine) setup(work *mpi.Comm, env *epochEnv, cents []float64) (engineState, error) {
 	e := env.eplan
 	n, d, k := env.src.N(), env.src.D(), env.cfg.K

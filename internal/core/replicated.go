@@ -28,6 +28,10 @@ func (replicatedEngine) replan(env *epochEnv) error {
 	return nil
 }
 
+// adoptsModel is true: the state keeps the full matrix and updates it
+// in place every iteration, so each rank needs a private copy.
+func (replicatedEngine) adoptsModel() bool { return true }
+
 func (replicatedEngine) setup(work *mpi.Comm, env *epochEnv, cents []float64) (engineState, error) {
 	n, d, k := env.src.N(), env.src.D(), env.cfg.K
 	// Shard assignment for this epoch: redistribute the full dataset

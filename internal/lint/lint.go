@@ -117,6 +117,7 @@ var simPackageSuffixes = []string{
 	"internal/obs",
 	"internal/fattree",
 	"internal/stream",
+	"internal/sched",
 }
 
 // DefaultConfig locates go.mod at or above dir and returns the

@@ -125,12 +125,18 @@ func (w *World) abortChOf(g int) chan struct{} {
 }
 
 // markCrashed records the fail-stop of a global rank. Only the owning
-// rank goroutine calls it (a rank decides its own death), exactly
-// once: crashedAt is written before the channel close publishes it, so
-// readers that observed the close see the final value.
+// rank goroutine (or scheduler task) calls it — a rank decides its own
+// death — exactly once: crashedAt is written before the channel close
+// publishes it, so readers that observed the close see the final
+// value. Under the DES driver, peers parked in a receive on the dead
+// rank additionally get a wake-up at the heartbeat detection time; the
+// goroutine driver gets the same effect from the select on crashCh.
 func (w *World) markCrashed(g int, at float64) {
 	w.crashedAt[g] = at
 	close(w.crashCh[g])
+	if w.des != nil {
+		w.desWakeWaitersOn(g, at+w.inj.HeartbeatTimeout())
+	}
 }
 
 // isCrashed reports whether a global rank has fail-stopped.

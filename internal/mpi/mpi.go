@@ -46,8 +46,19 @@ type World struct {
 	size  int
 	cgOf  []int // world rank -> global CG index
 
+	// driver selects the execution engine (see sched.go); des is the
+	// DES driver's per-epoch state, non-nil only while a sched epoch is
+	// dispatching.
+	driver Driver
+	des    *desWorld
+
+	// inbox channels exist only under the goroutine driver and are
+	// allocated lazily on its first epoch: each holds 4·size+16 packet
+	// slots, which at DES scale (thousands of ranks) would dominate
+	// memory for no benefit — the DES driver deposits into held
+	// directly.
 	inbox []chan packet
-	held  [][]packet // per-rank out-of-order buffer, owned by the rank goroutine
+	held  [][]packet // per-rank out-of-order buffer, owned by the rank goroutine/task
 
 	commIDs sync.Mutex
 	nextID  uint64 // guarded by commIDs
@@ -150,17 +161,19 @@ func (w *World) RunLive(fn func(c *Comm) error) error {
 // runMembers is the shared epoch driver of Run and RunLive: it clears
 // stale packets (messages addressed to ranks that crashed or aborted
 // in a previous epoch are dead letters), arms fresh abort channels,
-// runs fn on each member and publishes each member's failure to
-// late-blocking peers.
+// then hands the epoch to the selected driver, which runs fn on each
+// member and publishes each member's failure to late-blocking peers.
 func (w *World) runMembers(id uint64, members []int, fn func(c *Comm) error) error {
 	for g := range w.inbox {
-	drain:
-		for {
-			//swlint:ignore goroutine-purity -- one case plus default drains dead letters whose content is discarded
-			select {
-			case <-w.inbox[g]:
-			default:
-				break drain
+		if w.inbox[g] != nil {
+		drain:
+			for {
+				//swlint:ignore goroutine-purity -- one case plus default drains dead letters whose content is discarded
+				select {
+				case <-w.inbox[g]:
+				default:
+					break drain
+				}
 			}
 		}
 		w.held[g] = nil
@@ -170,7 +183,21 @@ func (w *World) runMembers(id uint64, members []int, fn func(c *Comm) error) err
 		w.aborted[g] = make(chan struct{})
 	}
 	w.abortFail = make([]*RankFailure, w.size)
+	if w.driver == DriverSched {
+		return w.runMembersSched(id, members, fn)
+	}
+	return w.runMembersGoroutine(id, members, fn)
+}
 
+// runMembersGoroutine is runMembers' epoch body under the default
+// driver: one live goroutine per member, packets through the buffered
+// inbox channels.
+func (w *World) runMembersGoroutine(id uint64, members []int, fn func(c *Comm) error) error {
+	if w.inbox[0] == nil {
+		for g := range w.inbox {
+			w.inbox[g] = make(chan packet, 4*w.size+16)
+		}
+	}
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
 	for i, g := range members {
@@ -336,6 +363,10 @@ func (c *Comm) sendPacket(dst int, tag uint64, data []float64, ints []int64, fai
 		}
 	}
 	p.time = c.Clock().Now() + tt
+	if c.w.des != nil {
+		c.w.desDeliver(dstG, p)
+		return nil
+	}
 	//swlint:ignore goroutine-purity -- the arms are equivalent: a packet bound for a crashed or aborted rank is a dead letter either way
 	select {
 	case c.w.inbox[dstG] <- p:
@@ -388,6 +419,9 @@ func (c *Comm) recvFull(src int, tag uint64) ([]float64, []int64, *RankFailure, 
 	// First, scan messages held back earlier.
 	if p, ok := c.takeHeld(me, srcG, tag); ok {
 		return c.deliver(p)
+	}
+	if c.w.des != nil {
+		return c.desRecvWait(me, srcG, tag)
 	}
 	for {
 		//swlint:ignore goroutine-purity -- the failure arms drain and prefer buffered matches (drainAndTake), so arm choice never changes the delivered packet

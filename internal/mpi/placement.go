@@ -61,6 +61,10 @@ func NewWorldPlaced(spec *machine.Spec, stats *trace.Stats, size int, place Plac
 		stats: stats,
 		size:  size,
 		cgOf:  cgOf,
+		// The channels themselves are allocated lazily by the goroutine
+		// driver's first epoch; the DES driver never needs them, and at
+		// its world sizes (thousands of ranks) the 4·size+16 buffers
+		// would cost gigabytes.
 		inbox: make([]chan packet, size),
 		held:  make([][]packet, size),
 		clocks: func() []*vclock.Clock {
@@ -70,9 +74,6 @@ func NewWorldPlaced(spec *machine.Spec, stats *trace.Stats, size int, place Plac
 			}
 			return cs
 		}(),
-	}
-	for i := range w.inbox {
-		w.inbox[i] = make(chan packet, 4*size+16)
 	}
 	return w, nil
 }

@@ -39,6 +39,13 @@ const DefaultBatch = 256
 type Scenario struct {
 	Nodes   int
 	N, K, D int
+	// MPrime, when positive, pins the Level-3 CG group width instead
+	// of letting the planner choose. Functional cross-checks that
+	// force MPrimeGroup (the Figure 6b DES sweep bounds per-rank
+	// centroid slices this way) set it so the modelled plan matches
+	// the executed one. Zero means planner default; Levels 1-2 ignore
+	// it.
+	MPrime int
 }
 
 // Prediction is the modelled one-iteration completion time, split
@@ -65,7 +72,7 @@ func Predict(level core.Level, sc Scenario) (Prediction, error) {
 	if err != nil {
 		return Prediction{}, err
 	}
-	cfg := core.Config{Spec: spec, Level: level, K: sc.K}
+	cfg := core.Config{Spec: spec, Level: level, K: sc.K, MPrimeGroup: sc.MPrime}
 	plan, err := core.PlanFor(cfg, sc.N, sc.D)
 	if err != nil {
 		return Prediction{}, err

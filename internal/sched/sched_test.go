@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDispatchOrder pins the total tie-break order: time first, then
+// unit index, then scheduling sequence.
+func TestDispatchOrder(t *testing.T) {
+	s := New()
+	var order []string
+	log := func(tag string) { order = append(order, tag) }
+
+	// Spawn out of unit order with colliding times: unit index breaks
+	// the time ties, spawn order is irrelevant.
+	s.Spawn(2, 1.0, func(*Task) { log("u2@1") })
+	s.Spawn(0, 2.0, func(*Task) { log("u0@2") })
+	s.Spawn(1, 1.0, func(*Task) { log("u1@1") })
+	s.Spawn(3, 0.5, func(*Task) { log("u3@0.5") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"u3@0.5", "u1@1", "u2@1", "u0@2"}
+	if got := strings.Join(order, ","); got != strings.Join(want, ",") {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+// TestSeqBreaksTies: two events for distinct tasks on the same unit
+// index cannot happen (a task has at most one queued event), so the
+// seq tie-break is exercised through same-time same-unit re-wakes
+// being impossible and instead via equal (time, unit) across... — in
+// practice seq ordering shows up when two tasks share a unit index.
+func TestSeqBreaksTies(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn(7, 1.0, func(*Task) { order = append(order, "first-spawned") })
+	s.Spawn(7, 1.0, func(*Task) { order = append(order, "second-spawned") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first-spawned" {
+		t.Fatalf("same (time,unit) events must dispatch in scheduling order, got %v", order)
+	}
+}
+
+// TestParkWake drives a two-task producer/consumer handoff: the
+// consumer parks until the producer wakes it, and the spurious wake-up
+// contract (re-check, re-park) holds.
+func TestParkWake(t *testing.T) {
+	s := New()
+	var got []int
+	var queue []int
+	var consumer *Task
+	consumer = s.Spawn(0, 0, func(self *Task) {
+		for len(got) < 3 {
+			for len(queue) == 0 {
+				self.Park()
+			}
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+	})
+	s.Spawn(1, 1.0, func(*Task) {
+		for i := 1; i <= 3; i++ {
+			queue = append(queue, i)
+			consumer.Wake(float64(i))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("consumer received %v", got)
+	}
+}
+
+// TestWakeIsIdempotentWhileQueued: waking an already-queued task must
+// not enqueue a second event.
+func TestWakeIsIdempotentWhileQueued(t *testing.T) {
+	s := New()
+	runs := 0
+	var target *Task
+	target = s.Spawn(0, 0, func(self *Task) {
+		runs++
+		self.Park() // parked until unit 1 wakes it
+		runs++
+	})
+	s.Spawn(1, 1.0, func(*Task) {
+		target.Wake(2.0)
+		target.Wake(3.0) // no-op: already queued
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("task body advanced %d times, want 2", runs)
+	}
+	if s.events.Len() != 0 {
+		t.Fatalf("%d events left in heap after Run", s.events.Len())
+	}
+}
+
+// TestDeadlockDiagnostic: a task parked forever must fail Run with a
+// diagnostic naming the stuck unit instead of hanging.
+func TestDeadlockDiagnostic(t *testing.T) {
+	s := New()
+	s.Spawn(4, 0, func(self *Task) { self.Park() })
+	err := s.Run()
+	if err == nil {
+		t.Fatal("deadlocked run returned nil error")
+	}
+	if !strings.Contains(err.Error(), "deadlock") || !strings.Contains(err.Error(), "[4]") {
+		t.Fatalf("deadlock diagnostic %q does not name unit 4", err)
+	}
+}
+
+// TestDeterministicReplay runs the same randomized-looking workload
+// twice and requires the identical dispatch trace.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var trace []string
+		tasks := make([]*Task, 8)
+		for u := 0; u < 8; u++ {
+			u := u
+			tasks[u] = s.Spawn(u, float64((u*37)%5), func(self *Task) {
+				for step := 0; step < 4; step++ {
+					trace = append(trace, fmt.Sprintf("u%d.s%d@%.1f", u, step, s.Now()))
+					peer := tasks[(u+3)%8]
+					peer.Wake(s.Now() + float64((u+step)%3))
+					if step < 3 {
+						self.Park()
+					}
+				}
+			})
+		}
+		// Backstop wakes so every task's four steps eventually run even
+		// if the peer-wake pattern leaves it parked.
+		s.Spawn(100, 50, func(*Task) {
+			for _, tk := range tasks {
+				tk.Wake(50)
+			}
+		})
+		s.Spawn(101, 60, func(*Task) {
+			for _, tk := range tasks {
+				tk.Wake(60)
+			}
+		})
+		s.Spawn(102, 70, func(*Task) {
+			for _, tk := range tasks {
+				tk.Wake(70)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if strings.Join(a, " ") != strings.Join(b, " ") {
+		t.Fatalf("two identical runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestCurrentAndNow: Current reflects the dispatched task and Now the
+// event time it was dispatched at.
+func TestCurrentAndNow(t *testing.T) {
+	s := New()
+	var sawSelf bool
+	var at float64
+	var tk *Task
+	tk = s.Spawn(3, 2.5, func(self *Task) {
+		sawSelf = s.Current() == self && self == tk
+		at = s.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSelf {
+		t.Fatal("Current() did not return the running task")
+	}
+	if at != 2.5 {
+		t.Fatalf("Now() = %v at dispatch, want 2.5", at)
+	}
+	if s.Current() != nil {
+		t.Fatal("Current() non-nil between dispatches")
+	}
+}
+
+// TestSpawnFromRunningTask: tasks may spawn further tasks mid-run.
+func TestSpawnFromRunningTask(t *testing.T) {
+	s := New()
+	var order []int
+	s.Spawn(0, 0, func(*Task) {
+		order = append(order, 0)
+		s.Spawn(1, 1.0, func(*Task) { order = append(order, 1) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1]" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// TestErrorTypes: a corrupted-looking state surfaces as an error, not
+// a hang; here just assert errors.Is-friendly plain errors come back.
+func TestDeadlockIsError(t *testing.T) {
+	s := New()
+	s.Spawn(0, 0, func(self *Task) { self.Park() })
+	if err := s.Run(); errors.Is(err, nil) {
+		t.Fatal("expected non-nil error")
+	}
+}

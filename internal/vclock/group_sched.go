@@ -1,0 +1,81 @@
+package vclock
+
+// Scheduler-backed Group mode: the same barrier semantics as the
+// cond-based Group, but participants are coroutine tasks of a
+// sched.Sim, so blocking means parking on the scheduler's event heap
+// and "concurrency" is the scheduler's deterministic serialization.
+// At most one task executes at a time and every hand-off is a
+// happens-before edge, so the mutex is never contended; it is still
+// taken around the round bookkeeping so the guarded-field invariants
+// hold uniformly in both modes — but never across Park, because a
+// parked task holding a real mutex would block the next task's
+// goroutine and deadlock the simulation.
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// NewGroupSched returns a synchronization group for n participants
+// that are tasks of the given scheduler. Sync must then be called from
+// within running sched tasks; the waiters are parked on the event heap
+// and the last arrival wakes them at the release time. It panics when
+// n is not positive or sim is nil.
+func NewGroupSched(n int, sim *sched.Sim) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("vclock: group size must be positive, got %d", n))
+	}
+	if sim == nil {
+		panic("vclock: NewGroupSched needs a scheduler")
+	}
+	return &Group{size: n, sim: sim}
+}
+
+// syncSched is Sync in scheduler-backed mode. The round bookkeeping is
+// identical to the cond path — including the first-arrival reset of
+// maxT that keeps a stale release (e.g. after the caller Reset its
+// clocks between rounds) out of the new round — only the blocking
+// primitive differs.
+func (g *Group) syncSched(c *Clock, extra float64) float64 {
+	self := g.sim.Current()
+	if self == nil {
+		panic("vclock: sched-backed Group.Sync called outside a running task")
+	}
+	g.mu.Lock()
+	if g.waiting == 0 {
+		g.maxT = c.t
+	} else if c.t > g.maxT {
+		g.maxT = c.t
+	}
+	g.waiting++
+	if g.waiting == g.size {
+		g.release = g.maxT + extra
+		g.waiting = 0
+		g.round++
+		release := g.release
+		// Wake only enqueues heap events; it never blocks, so holding
+		// the lock across the loop is safe.
+		for _, w := range g.waiters {
+			w.Wake(release)
+		}
+		g.waiters = g.waiters[:0]
+		g.mu.Unlock()
+		c.t = release
+		return release
+	}
+	myRound := g.round
+	g.waiters = append(g.waiters, self)
+	for g.round == myRound {
+		g.mu.Unlock()
+		self.Park()
+		g.mu.Lock()
+	}
+	// The release of a completed round cannot be overwritten before its
+	// waiters read it: the next round needs all Size participants, and
+	// this waiter has not re-entered yet.
+	t := g.release
+	g.mu.Unlock()
+	c.AdvanceTo(t)
+	return t
+}

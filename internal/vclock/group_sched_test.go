@@ -1,0 +1,130 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// groupRound runs one barrier round over the cond-backed Group with
+// the given entry times and returns each participant's release time.
+func groupRound(g *Group, clocks []*Clock, extra float64) []float64 {
+	out := make([]float64, len(clocks))
+	var wg sync.WaitGroup
+	for i, c := range clocks {
+		wg.Add(1)
+		go func(i int, c *Clock) {
+			defer wg.Done()
+			out[i] = g.Sync(c, extra)
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestGroupResetBetweenRounds pins the stale-release edge the Sync
+// implementation guards against: after a round released at a late time
+// the caller Resets every clock, and the next round's release must be
+// derived only from the new round's (small) entry times — the first
+// arrival re-seeds the running max, so neither the previous round's
+// max nor its release leaks in.
+func TestGroupResetBetweenRounds(t *testing.T) {
+	const n = 3
+	g := NewGroup(n)
+	clocks := []*Clock{New(), New(), New()}
+	clocks[0].Advance(5)
+	clocks[1].Advance(7)
+	clocks[2].Advance(9)
+	for i, r := range groupRound(g, clocks, 1) {
+		if r != 10 {
+			t.Fatalf("round 1 release[%d] = %v, want 10", i, r)
+		}
+	}
+	// The engine measured its iteration and starts the next one from
+	// zero: all clocks Reset, then a round with much earlier times.
+	for _, c := range clocks {
+		c.Reset()
+	}
+	clocks[0].Advance(1)
+	clocks[1].Advance(2)
+	clocks[2].Advance(3)
+	for i, r := range groupRound(g, clocks, 0) {
+		if r != 3 {
+			t.Fatalf("round 2 release[%d] = %v, want 3 (stale release leaked)", i, r)
+		}
+		if got := clocks[i].Now(); got != 3 {
+			t.Fatalf("round 2 clock[%d] = %v, want 3", i, got)
+		}
+	}
+}
+
+// TestGroupSchedMatchesCond drives the identical two-round
+// reset-between-rounds scenario through the scheduler-backed Group and
+// requires the same release times and final clocks as the cond-backed
+// one — the DES substrate must reproduce the blocking Group's
+// semantics exactly.
+func TestGroupSchedMatchesCond(t *testing.T) {
+	const n = 3
+	sim := sched.New()
+	g := NewGroupSched(n, sim)
+	clocks := []*Clock{New(), New(), New()}
+	// One barrier round as one scheduler run: the engine's pattern is
+	// Run → measure → ResetClocks → Run, so clock resets happen between
+	// runs while the Group persists across them.
+	round := func(entries []float64, extra float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			sim.Spawn(i, entries[i], func(*sched.Task) {
+				clocks[i].AdvanceTo(entries[i])
+				out[i] = g.Sync(clocks[i], extra)
+			})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for i, r := range round([]float64{5, 7, 9}, 1) {
+		if r != 10 {
+			t.Fatalf("sched round 1 release[%d] = %v, want 10", i, r)
+		}
+	}
+	for _, c := range clocks {
+		c.Reset()
+	}
+	for i, r := range round([]float64{1, 2, 3}, 0) {
+		if r != 3 {
+			t.Fatalf("sched round 2 release[%d] = %v, want 3 (stale release leaked)", i, r)
+		}
+		if got := clocks[i].Now(); got != 3 {
+			t.Fatalf("sched round 2 clock[%d] = %v, want 3", i, got)
+		}
+	}
+}
+
+// TestGroupSchedOutsideTaskPanics: the sched-backed Group cannot block
+// a non-task caller; it must fail loudly instead of corrupting rounds.
+func TestGroupSchedOutsideTaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sync outside a running task did not panic")
+		}
+	}()
+	NewGroupSched(2, sched.New()).Sync(New(), 0)
+}
+
+// TestNewGroupSchedPanicsOnBadArgs mirrors NewGroup's validation.
+func TestNewGroupSchedPanicsOnBadArgs(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("NewGroupSched(0, sim)", func() { NewGroupSched(0, sched.New()) })
+	assertPanics("NewGroupSched(1, nil)", func() { NewGroupSched(1, nil) })
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/sched"
 )
 
 // Clock is the virtual time line of one simulated parallel unit.
@@ -101,7 +103,21 @@ func SyncAll(extra float64, clocks ...*Clock) float64 {
 // last arrives, and all leave at max(entry times) + extra.
 //
 // Group is safe for concurrent use by exactly Size participants per
-// round and may be reused for any number of rounds.
+// round and may be reused for any number of rounds by the same
+// participant set. Reuse needs no quiescence between rounds: a fast
+// participant may re-enter round n+1 before slow waiters of round n
+// have woken, because the release time of a completed round is stored
+// separately from the running max of the round currently filling.
+// Clocks may also be Reset between rounds (engines do this when they
+// measure per-iteration time): each round's max starts fresh from its
+// first arrival's clock, so the previous round's release time never
+// leaks into the new round — the stale-release edge is pinned by
+// TestGroupResetBetweenRounds.
+//
+// A Group built with NewGroup blocks on a sync.Cond and serves live
+// goroutines; one built with NewGroupSched serves coroutine tasks of a
+// sched.Sim, parking them on the scheduler's event heap instead. The
+// Sync API and the round semantics are identical in both modes.
 type Group struct {
 	size int
 
@@ -111,6 +127,13 @@ type Group struct {
 	round   uint64  // guarded by mu
 	maxT    float64 // guarded by mu — running max of the round currently filling
 	release float64 // guarded by mu — release time of the last completed round
+
+	// Scheduler-backed mode (NewGroupSched). When sim is non-nil every
+	// participant is a sched task and execution is serialized by the
+	// scheduler, so the fields above are accessed without the mutex and
+	// waiters park on the event heap instead of the cond.
+	sim     *sched.Sim
+	waiters []*sched.Task // parked participants of the filling round
 }
 
 // NewGroup returns a synchronization group for n participants.
@@ -133,6 +156,9 @@ func (g *Group) Size() int { return g.size }
 func (g *Group) Sync(c *Clock, extra float64) float64 {
 	if extra < 0 || math.IsNaN(extra) {
 		panic(fmt.Sprintf("vclock: invalid sync cost %v", extra))
+	}
+	if g.sim != nil {
+		return g.syncSched(c, extra)
 	}
 	g.mu.Lock()
 	myRound := g.round
