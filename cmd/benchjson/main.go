@@ -12,6 +12,16 @@
 // so package headers, PASS/ok trailers and log output pass through
 // harmlessly. Results keep their input order, which `go test` makes
 // deterministic, so reruns on the same machine diff cleanly.
+//
+// Diff mode compares two report files instead of reading stdin:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json
+//	benchjson -diff -threshold 0.10 BENCH_old.json BENCH_new.json
+//
+// It prints per-benchmark ns/op deltas (shared machinery with
+// cmd/obsdiff) and exits 1 when any benchmark moved beyond
+// -threshold, 0 otherwise — `make benchdiff` runs it non-blocking
+// against the checked-in baseline.
 package main
 
 import (
@@ -24,6 +34,8 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+
+	"repro/internal/profdiff"
 )
 
 // Report is the schema of a BENCH_<host>.json file.
@@ -100,8 +112,13 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 	host := fs.String("host", defaultHost, "host label recorded in the report (and baseline file name)")
 	out := fs.String("out", "", "output path; stdout when empty")
+	diff := fs.Bool("diff", false, "compare two report files (old new) instead of reading stdin")
+	threshold := fs.Float64("threshold", 0, "with -diff: relative ns/op change (fraction) a benchmark must exceed to fail")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *diff {
+		return runDiff(stdout, stderr, fs.Args(), *threshold)
 	}
 	results, err := Parse(stdin)
 	if err != nil {
@@ -129,6 +146,40 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	if *out != "" {
 		fmt.Fprintf(stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
 	}
+	return 0
+}
+
+// runDiff is the -diff mode: per-benchmark ns/op deltas between two
+// report files, exit 1 when any moved beyond the threshold.
+func runDiff(stdout, stderr io.Writer, paths []string, threshold float64) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(stderr, "benchjson: -diff needs exactly two report files (old new)")
+		return 2
+	}
+	if threshold < 0 {
+		fmt.Fprintln(stderr, "benchjson: -threshold must be non-negative")
+		return 2
+	}
+	old, err := profdiff.LoadBench(paths[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	cur, err := profdiff.LoadBench(paths[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	rows := profdiff.Diff(old, cur)
+	if err := profdiff.Render(stdout, rows, false); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if changed := profdiff.Changed(rows, threshold); len(changed) > 0 {
+		fmt.Fprintf(stdout, "%d benchmark(s) beyond threshold %g\n", len(changed), threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no deltas beyond threshold %g\n", threshold)
 	return 0
 }
 

@@ -110,3 +110,40 @@ func TestRunNoResultsFails(t *testing.T) {
 		t.Errorf("stderr %q does not explain the failure", stderr.String())
 	}
 }
+
+func TestDiffMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("old.json", `{"host":"h","benchmarks":[{"name":"BenchmarkA-8","iters":10,"ns_per_op":100}]}`)
+	same := write("same.json", `{"host":"h","benchmarks":[{"name":"BenchmarkA-8","iters":12,"ns_per_op":100}]}`)
+	slow := write("slow.json", `{"host":"h","benchmarks":[{"name":"BenchmarkA-8","iters":10,"ns_per_op":130}]}`)
+
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader(""), &stdout, &stderr, []string{"-diff", old, same}); code != 0 {
+		t.Errorf("identical ns/op diff exit = %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run(strings.NewReader(""), &stdout, &stderr, []string{"-diff", old, slow}); code != 1 {
+		t.Errorf("30%% regression diff exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "+30.00%") {
+		t.Errorf("diff output missing the delta:\n%s", stdout.String())
+	}
+	// Threshold above the regression passes.
+	if code := run(strings.NewReader(""), &stdout, &stderr, []string{"-diff", "-threshold", "0.5", old, slow}); code != 0 {
+		t.Errorf("thresholded diff exit = %d, want 0", code)
+	}
+	// Usage errors exit 2.
+	if code := run(strings.NewReader(""), &stdout, &stderr, []string{"-diff", old}); code != 2 {
+		t.Errorf("one-file diff exit = %d, want 2", code)
+	}
+	if code := run(strings.NewReader(""), &stdout, &stderr, []string{"-diff", old, filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Errorf("missing-file diff exit = %d, want 2", code)
+	}
+}

@@ -60,6 +60,10 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the simulated run to this file (see docs/OBSERVABILITY.md)")
 		metricsOut = flag.String("metrics-out", "", "write a JSONL span and per-iteration metrics log of the simulated run to this file")
 		timeline   = flag.Bool("timeline", false, "render an ASCII per-rank virtual-time timeline after the run")
+		rollup     = flag.Bool("rollup", false, "aggregate observability online instead of retaining spans: bounded memory at any rank count; excludes -timeline, and -trace-out switches to the aggregate form")
+		profileOut = flag.String("profile-out", "", "write the per-phase aggregate profile JSON of the simulated run to this file (see docs/OBSERVABILITY.md)")
+		foldedOut  = flag.String("folded-out", "", "write the profile as folded stacks for flamegraph rendering to this file")
+		traceAgg   = flag.Int("trace-agg", 0, "export -trace-out in aggregate form: one rollup lane per unit class plus this many top straggler lanes (0 = full per-unit trace; implied 8 under -rollup)")
 		schedFlag  = flag.Bool("sched", false, "run the simulated machine on the discrete-event scheduler driver (bit-identical to the default goroutine driver; scales to thousands of ranks)")
 		cpuprofile = flag.String("cpuprofile", "", "write a host CPU profile of this process to the given file")
 		memprofile = flag.String("memprofile", "", "write a host heap profile to the given file on exit")
@@ -81,6 +85,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swkmeans: -ckpt must be non-negative")
 		os.Exit(2)
 	}
+	if *traceAgg < 0 {
+		fmt.Fprintln(os.Stderr, "swkmeans: -trace-agg must be non-negative")
+		os.Exit(2)
+	}
+	if *rollup && *timeline {
+		fmt.Fprintln(os.Stderr, "swkmeans: -timeline needs the raw spans that -rollup folds away; pick one")
+		os.Exit(2)
+	}
+	if *rollup && *traceAgg == 0 {
+		// A rollup recorder has no spans to export in full; the trace
+		// output, when asked for, is the aggregate form.
+		*traceAgg = 8
+	}
 	opts := options{
 		out:    os.Stdout,
 		dsName: *dsName, scale: *scale, n: *n, d: *d, components: *components,
@@ -90,7 +107,9 @@ func main() {
 		preset: *preset, specPath: *specPath,
 		faults: faults, ckpt: *ckpt, dropLost: *dropLost,
 		traceOut: *traceOut, metricsOut: *metricsOut, timeline: *timeline,
-		sched: *schedFlag,
+		rollup: *rollup, profileOut: *profileOut, foldedOut: *foldedOut,
+		traceAgg: *traceAgg,
+		sched:    *schedFlag,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -152,13 +171,17 @@ type options struct {
 	dropLost                bool
 	traceOut, metricsOut    string
 	timeline                bool
+	rollup                  bool
+	profileOut, foldedOut   string
+	traceAgg                int
 	sched                   bool
 	rec                     *obs.Recorder
 }
 
 // obsRequested reports whether any observability output was asked for.
 func (o options) obsRequested() bool {
-	return o.traceOut != "" || o.metricsOut != "" || o.timeline
+	return o.traceOut != "" || o.metricsOut != "" || o.timeline ||
+		o.profileOut != "" || o.foldedOut != ""
 }
 
 // buildSpec resolves the machine: an explicit JSON spec wins, then a
@@ -246,9 +269,13 @@ func run(o options) error {
 			simulated = false
 		}
 		if !simulated {
-			return fmt.Errorf("-trace-out/-metrics-out/-timeline trace the simulated machine; they need -algo sim, fine1, fine2 or fine3 and training mode")
+			return fmt.Errorf("-trace-out/-metrics-out/-timeline/-profile-out/-folded-out trace the simulated machine; they need -algo sim, fine1, fine2 or fine3 and training mode")
 		}
-		o.rec = obs.NewRecorder()
+		if o.rollup {
+			o.rec = obs.NewRollupRecorder()
+		} else {
+			o.rec = obs.NewRecorder()
+		}
 	}
 	if o.loadPath != "" {
 		return runInference(o, src, labeler)
@@ -352,16 +379,40 @@ func exportObs(o options) error {
 		}
 	}
 	if o.traceOut != "" {
-		if err := writeObsFile(o.traceOut, o.rec, obs.WriteTraceEvents); err != nil {
+		write := obs.WriteTraceEvents
+		note := "full"
+		if o.traceAgg > 0 {
+			topK := o.traceAgg
+			write = func(w io.Writer, rec *obs.Recorder) error {
+				return obs.WriteAggregateTrace(w, rec, topK)
+			}
+			note = fmt.Sprintf("aggregate, top %d stragglers", topK)
+		}
+		if err := writeObsFile(o.traceOut, o.rec, write); err != nil {
 			return err
 		}
-		fmt.Fprintf(o.out, "trace   : %s (load in Perfetto or chrome://tracing)\n", o.traceOut)
+		fmt.Fprintf(o.out, "trace   : %s (%s; load in Perfetto or chrome://tracing)\n", o.traceOut, note)
 	}
 	if o.metricsOut != "" {
 		if err := writeObsFile(o.metricsOut, o.rec, obs.WriteMetricsJSONL); err != nil {
 			return err
 		}
 		fmt.Fprintf(o.out, "metrics : %s\n", o.metricsOut)
+	}
+	if o.profileOut != "" {
+		if err := writeObsFile(o.profileOut, o.rec, obs.WriteProfileJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "profile : %s\n", o.profileOut)
+	}
+	if o.foldedOut != "" {
+		p := obs.BuildProfile(o.rec)
+		if err := writeObsFile(o.foldedOut, o.rec, func(w io.Writer, _ *obs.Recorder) error {
+			return obs.WriteFolded(w, p)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "folded  : %s (render with a flamegraph tool)\n", o.foldedOut)
 	}
 	return nil
 }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// runObserved runs one training configuration under the given
+// recorder, with fresh per-run stats.
+func runObserved(t *testing.T, cfg Config, src dataset.Source, rec *obs.Recorder) *Result {
+	t.Helper()
+	cfg.Stats = trace.NewStats()
+	cfg.Obs = rec
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertModesEquivalent runs cfg once per recorder mode and asserts
+// the rollup recorder's derived tables and exports are bit-identical
+// to the span-retaining recorder's — the tentpole equivalence
+// contract, on real simulated workloads.
+func assertModesEquivalent(t *testing.T, name string, cfg Config, src dataset.Source) {
+	t.Helper()
+	span, roll := obs.NewRecorder(), obs.NewRollupRecorder()
+	runObserved(t, cfg, src, span)
+	runObserved(t, cfg, src, roll)
+
+	if got, want := obs.Summarize(roll), obs.Summarize(span); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: Summarize diverges across recorder modes", name)
+	}
+	if got, want := obs.UnitTotals(roll), obs.UnitTotals(span); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: UnitTotals diverges across recorder modes", name)
+	}
+	var pSpan, pRoll bytes.Buffer
+	if err := obs.WriteProfileJSON(&pSpan, span); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteProfileJSON(&pRoll, roll); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pSpan.Bytes(), pRoll.Bytes()) {
+		t.Errorf("%s: profile JSON diverges across recorder modes", name)
+	}
+	for _, u := range roll.Units() {
+		if n := len(u.Spans()); n != 0 {
+			t.Errorf("%s: rollup unit %s retained %d spans", name, u.Name(), n)
+		}
+	}
+}
+
+// TestRollupMatchesSpansAllLevels pins mode equivalence at every
+// coarse partition level.
+func TestRollupMatchesSpansAllLevels(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"level1", Config{Spec: machine.MustSpec(2), Level: Level1, K: 4, MaxIters: 8, Seed: 5}},
+		{"level2", Config{Spec: machine.MustSpec(2), Level: Level2, K: 8, MGroup: 4, MaxIters: 8, Seed: 3}},
+		{"level3", Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 8, Seed: 11}},
+	} {
+		assertModesEquivalent(t, tc.name, tc.cfg, g)
+	}
+}
+
+// TestRollupMatchesSpansSchedDriver pins mode equivalence under the
+// discrete-event driver, where the rollup recorder additionally picks
+// up the scheduler counters — on both recorders, so the profiles
+// still compare byte-equal.
+func TestRollupMatchesSpansSchedDriver(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Spec: machine.MustSpec(2), Level: Level3, K: 8, MPrimeGroup: 4, MaxIters: 6, Seed: 11, Sched: true}
+	assertModesEquivalent(t, "level3-sched", cfg, g)
+
+	// And the counters actually arrive.
+	rec := obs.NewRollupRecorder()
+	runObserved(t, cfg, g, rec)
+	names := map[string]bool{}
+	for _, c := range rec.Counters() {
+		names[c.Name] = c.Value > 0
+	}
+	for _, want := range []string{"sched:dispatches", "sched:parks", "sched:wakes", "sched:max_queue_depth"} {
+		if !names[want] {
+			t.Errorf("sched-driver profile is missing counter %s (have %v)", want, names)
+		}
+	}
+}
+
+// TestRollupMatchesSpansCrashRecovery pins mode equivalence through
+// the fault path: checkpoints, restores, replans and redo work all
+// fold identically.
+func TestRollupMatchesSpansCrashRecovery(t *testing.T) {
+	g, err := dataset.NewGaussianMixture("g", 400, 8, 4, 0.05, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Spec: machine.MustSpec(1), Level: Level1, K: 4, MaxIters: 12, Seed: 3, Stats: trace.NewStats()}
+	clean, err := Run(base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Faults = fault.Plan{Crashes: []fault.Crash{{CG: 1, At: 0.4 * totalIterSeconds(clean)}}}
+	cfg.CheckpointInterval = 2
+
+	// The scenario must actually recover, or the test pins nothing.
+	res := runObserved(t, cfg, g, obs.NewRollupRecorder())
+	if res.Recovery == nil || res.Recovery.Replans < 1 {
+		t.Fatal("crash caused no recovery; the scenario no longer exercises the machinery")
+	}
+	assertModesEquivalent(t, "crash-recovery", cfg, g)
+}

@@ -300,3 +300,29 @@ func TestSimPackageScopeCoversVClockImporters(t *testing.T) {
 		}
 	}
 }
+
+// TestSimPackageSuffixesResolve is the inverse meta-test: every
+// simPackageSuffixes entry must name a package that actually exists
+// with Go sources, so a rename or removal cannot leave a stale entry
+// silently shrinking the determinism scope.
+func TestSimPackageSuffixesResolve(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	for _, suffix := range simPackageSuffixes {
+		dir := filepath.Join(cfg.ModuleRoot, filepath.FromSlash(suffix))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("simPackageSuffixes entry %q does not resolve: %v", suffix, err)
+			continue
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			t.Errorf("simPackageSuffixes entry %q has no Go sources", suffix)
+		}
+	}
+}

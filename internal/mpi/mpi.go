@@ -67,7 +67,10 @@ type World struct {
 
 	// obsUnits[g] is rank g's span unit, nil when unobserved. Installed
 	// before Run and only read by the rank's own goroutine afterwards.
+	// obsRec is the recorder they belong to, kept so the DES driver can
+	// fold its scheduler counters into the run's profile.
 	obsUnits []*obs.Unit
+	obsRec   *obs.Recorder
 
 	// Fault state (see fault.go). crashCh[g] is closed by rank g's own
 	// goroutine when its scheduled fail-stop manifests; crashedAt[g] is
@@ -120,6 +123,7 @@ func (w *World) SetObserver(rec *obs.Recorder) {
 	if rec == nil {
 		return
 	}
+	w.obsRec = rec
 	w.obsUnits = make([]*obs.Unit, w.size)
 	for g := range w.obsUnits {
 		w.obsUnits[g] = rec.Unit(fmt.Sprintf("rank/%d", g))

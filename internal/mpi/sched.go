@@ -133,6 +133,13 @@ func (w *World) runMembersSched(id uint64, members []int, fn func(c *Comm) error
 		// rather than hanging the way stuck goroutines would.
 		return fmt.Errorf("mpi: sched driver: %w", err)
 	}
+	if w.obsRec != nil {
+		st := des.sim.Stats()
+		w.obsRec.AddCounter("sched:dispatches", st.Dispatches)
+		w.obsRec.AddCounter("sched:parks", st.Parks)
+		w.obsRec.AddCounter("sched:wakes", st.Wakes)
+		w.obsRec.MaxCounter("sched:max_queue_depth", uint64(st.MaxQueue))
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("mpi: rank %d: %w", members[i], err)

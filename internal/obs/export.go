@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // usPerSecond converts virtual seconds to the trace format's
@@ -32,11 +33,14 @@ type TraceEvent struct {
 }
 
 // SpanArgs annotates a span event with its iteration and modelled
-// traffic.
+// traffic. Count is only set by the aggregate export, where one event
+// stands for many folded spans; omitempty keeps the full export's
+// bytes unchanged.
 type SpanArgs struct {
-	Iter  int   `json:"iter"`
-	Bytes int64 `json:"bytes"`
-	Flops int64 `json:"flops"`
+	Iter  int    `json:"iter"`
+	Bytes int64  `json:"bytes"`
+	Flops int64  `json:"flops"`
+	Count uint64 `json:"count,omitempty"`
 }
 
 // TrackArgs is the args payload of a thread_name metadata event.
@@ -44,38 +48,69 @@ type TrackArgs struct {
 	Name string `json:"name"`
 }
 
-// WriteTraceEvents writes the recorder's spans as a Chrome
-// trace-event JSON document: one track (tid) per unit in natural name
-// order, all under one process.
-func WriteTraceEvents(w io.Writer, r *Recorder) error {
+// traceDoc streams one trace-event JSON document: the enclosing
+// object, comma placement, and the final flush.
+type traceDoc struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+func startTraceDoc(w io.Writer) (*traceDoc, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return nil, err
+	}
+	return &traceDoc{bw: bw, first: true}, nil
+}
+
+func (td *traceDoc) put(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
 		return err
 	}
-	first := true
-	put := func(v any) error {
-		b, err := json.Marshal(v)
-		if err != nil {
+	if !td.first {
+		if _, err := td.bw.WriteString(",\n"); err != nil {
 			return err
 		}
-		if !first {
-			if _, err := bw.WriteString(",\n"); err != nil {
-				return err
-			}
-		}
-		first = false
-		_, err = bw.Write(b)
+	}
+	td.first = false
+	_, err = td.bw.Write(b)
+	return err
+}
+
+// track emits the thread_name metadata event naming a tid's lane.
+func (td *traceDoc) track(tid int, name string) error {
+	meta := struct {
+		Name string    `json:"name"`
+		Ph   string    `json:"ph"`
+		Pid  int       `json:"pid"`
+		Tid  int       `json:"tid"`
+		Args TrackArgs `json:"args"`
+	}{Name: "thread_name", Ph: "M", Pid: 0, Tid: tid, Args: TrackArgs{Name: name}}
+	return td.put(meta)
+}
+
+func (td *traceDoc) finish() error {
+	if _, err := td.bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	if err := td.bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing trace export: %w", err)
+	}
+	return nil
+}
+
+// WriteTraceEvents writes the recorder's spans as a Chrome
+// trace-event JSON document: one track (tid) per unit in natural name
+// order, all under one process. On a rollup recorder the raw spans no
+// longer exist; use WriteAggregateTrace there.
+func WriteTraceEvents(w io.Writer, r *Recorder) error {
+	td, err := startTraceDoc(w)
+	if err != nil {
 		return err
 	}
 	for tid, u := range r.Units() {
-		meta := struct {
-			Name string    `json:"name"`
-			Ph   string    `json:"ph"`
-			Pid  int       `json:"pid"`
-			Tid  int       `json:"tid"`
-			Args TrackArgs `json:"args"`
-		}{Name: "thread_name", Ph: "M", Pid: 0, Tid: tid, Args: TrackArgs{Name: u.Name()}}
-		if err := put(meta); err != nil {
+		if err := td.track(tid, u.Name()); err != nil {
 			return err
 		}
 		for _, s := range u.Spans() {
@@ -90,18 +125,87 @@ func WriteTraceEvents(w io.Writer, r *Recorder) error {
 				Tid:  tid,
 				Args: &SpanArgs{Iter: s.Iter, Bytes: s.Bytes, Flops: s.Flops},
 			}
-			if err := put(ev); err != nil {
+			if err := td.put(ev); err != nil {
 				return err
 			}
 		}
 	}
-	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+	return td.finish()
+}
+
+// WriteAggregateTrace writes the browser-viewable aggregate form of a
+// trace: one rollup lane per unit class (the class's per-iteration
+// per-kind mean), then the topK straggler units by total virtual
+// seconds as individual lanes. Lanes are profile lanes, not
+// timelines: each (iteration, kind) aggregate renders as one event
+// whose duration is the aggregated seconds, laid out back to back in
+// (iteration, kind) order, so a 4,096-rank run opens as a handful of
+// readable tracks instead of 4,096. Works on both recorder modes and
+// is byte-deterministic.
+func WriteAggregateTrace(w io.Writer, r *Recorder, topK int) error {
+	if topK <= 0 {
+		topK = 8
+	}
+	pd := buildProfileData(r)
+	td, err := startTraceDoc(w)
+	if err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("obs: flushing trace export: %w", err)
+	tid := 0
+	// Class rollup lanes, classes in sorted order as in the profile.
+	for _, ct := range pd.p.Classes {
+		if err := td.track(tid, fmt.Sprintf("agg:%s (mean of %d)", ct.Class, ct.Units)); err != nil {
+			return err
+		}
+		cursor := 0.0
+		n := int64(ct.Units)
+		for _, e := range pd.p.Entries {
+			if e.Class != ct.Class {
+				continue
+			}
+			dur := e.Seconds / float64(n) * usPerSecond
+			ev := TraceEvent{
+				Name: e.Kind, Cat: PhaseClass(e.Kind), Ph: "X",
+				Ts: cursor, Dur: &dur, Pid: 0, Tid: tid,
+				Args: &SpanArgs{Iter: e.Iter, Bytes: e.Bytes / n, Flops: e.Flops / n, Count: e.Count},
+			}
+			if err := td.put(ev); err != nil {
+				return err
+			}
+			cursor += dur
+		}
+		tid++
 	}
-	return nil
+	// Straggler lanes: the topK units by total seconds. The profile
+	// already ranked every unit (stable, natural-order ties), but only
+	// retains ProfileTopUnits rows; re-rank here so topK beyond that
+	// cap still works.
+	ranked := append([]unitCellData(nil), pd.units...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].total.Total() > ranked[j].total.Total() })
+	if topK > len(ranked) {
+		topK = len(ranked)
+	}
+	for _, ud := range ranked[:topK] {
+		if err := td.track(tid, "top:"+ud.name); err != nil {
+			return err
+		}
+		cursor := 0.0
+		for _, k := range ud.keys {
+			c := ud.aggs[k]
+			dur := c.seconds * usPerSecond
+			ev := TraceEvent{
+				Name: k.kind, Cat: PhaseClass(k.kind), Ph: "X",
+				Ts: cursor, Dur: &dur, Pid: 0, Tid: tid,
+				Args: &SpanArgs{Iter: k.iter, Bytes: c.bytes, Flops: c.flops, Count: c.count},
+			}
+			if err := td.put(ev); err != nil {
+				return err
+			}
+			cursor += dur
+		}
+		tid++
+	}
+	return td.finish()
 }
 
 // jsonlSpan is the "span" line of the metrics JSONL export.

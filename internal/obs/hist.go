@@ -1,0 +1,120 @@
+// A fixed-bucket log2 histogram of durations, shared by the rollup
+// recorder (virtual-second span durations) and the serving layer's
+// wall-clock latency metrics. The bucket layout is static — powers of
+// two of a nanosecond — so histograms from different runs, units and
+// processes merge by plain bucket-wise addition and export with a
+// stable schema. Everything is pure arithmetic on the value: no
+// clocks, no randomness, byte-deterministic.
+package obs
+
+import "math"
+
+// NumHistBuckets is the fixed bucket count. Bucket i covers durations
+// in (2^(i-1), 2^i] nanoseconds (bucket 0 takes everything at or
+// below one nanosecond, the last bucket everything above its lower
+// bound — about 292 years, i.e. effectively +Inf).
+const NumHistBuckets = 64
+
+// histBase is the upper bound of bucket 0 in seconds: one nanosecond.
+const histBase = 1e-9
+
+// Histogram counts observations in fixed log2 buckets and tracks
+// their exact sum. The zero value is ready to use. It is a plain
+// value type: callers that share one across goroutines guard it
+// themselves (see internal/serve's Metrics).
+type Histogram struct {
+	Counts [NumHistBuckets]uint64
+	Sum    float64
+}
+
+// HistBucket returns the bucket index for a duration in seconds.
+func HistBucket(v float64) int {
+	if v <= histBase || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v/histBase, 1) {
+		// The ratio overflowed (v within a factor of 1e9 of the float64
+		// max); Frexp would report exponent 0 for +Inf.
+		return NumHistBuckets - 1
+	}
+	// v/histBase = frac * 2^exp with frac in [0.5, 1): the smallest
+	// power of two at or above the ratio is 2^(exp-1) exactly when the
+	// ratio is itself a power of two, 2^exp otherwise.
+	frac, exp := math.Frexp(v / histBase)
+	i := exp
+	//swlint:ignore float-eq -- Frexp is exact: frac == 0.5 identifies a ratio that is exactly a power of two, which belongs in the lower bucket by the (lo, hi] bucket convention
+	if frac == 0.5 {
+		i = exp - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	if i >= NumHistBuckets {
+		return NumHistBuckets - 1
+	}
+	return i
+}
+
+// HistBucketUpper returns bucket i's inclusive upper bound in seconds
+// (+Inf for the last bucket).
+func HistBucketUpper(i int) float64 {
+	if i >= NumHistBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(histBase, i)
+}
+
+// Observe adds one duration (in seconds) to the histogram.
+func (h *Histogram) Observe(v float64) {
+	h.Counts[HistBucket(v)]++
+	h.Sum += v
+}
+
+// Add merges another histogram into h bucket-wise.
+func (h *Histogram) Add(o *Histogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the q-th quantile (q in [0, 1]):
+// the upper bound of the bucket holding the ceil(q*total)-th smallest
+// observation. The estimate is exact to within one log2 bucket — a
+// factor of two — which is the histogram's resolution by design. An
+// empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i == NumHistBuckets-1 {
+				// The overflow bucket has no finite upper bound; report its
+				// lower one rather than +Inf.
+				return math.Ldexp(histBase, i-1)
+			}
+			return HistBucketUpper(i)
+		}
+	}
+	return HistBucketUpper(NumHistBuckets - 1)
+}

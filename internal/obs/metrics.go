@@ -114,48 +114,44 @@ type Metrics struct {
 }
 
 // Summarize derives the per-iteration per-unit metrics table from the
-// recorded spans. The marker track (IterUnit) is excluded — it
-// annotates the timeline, it is not a simulated unit. Rows are
-// ordered by iteration, then by natural unit name; iteration stats
-// cover real iterations (iter >= 0) only.
+// recorder — folding retained spans, or reading the online aggregates
+// of a rollup recorder; the two modes produce bit-identical tables
+// because they perform the same additions in the same order. The
+// marker track (IterUnit) is excluded — it annotates the timeline, it
+// is not a simulated unit. Rows are ordered by iteration, then by
+// natural unit name; iteration stats cover real iterations (iter >=
+// 0) only.
 func Summarize(r *Recorder) Metrics {
-	type key struct {
-		unit string
-		iter int
+	type unitData struct {
+		name   string
+		phases map[int]*PhaseSeconds
 	}
-	totals := make(map[key]*PhaseSeconds)
-	var names []string
+	var units []unitData
+	var iterIDs []int
 	seen := make(map[int]bool)
 	for _, u := range r.Units() {
 		if u.Name() == IterUnit {
 			continue
 		}
-		names = append(names, u.Name())
-		for _, s := range u.Spans() {
-			k := key{u.Name(), s.Iter}
-			p, ok := totals[k]
-			if !ok {
-				p = &PhaseSeconds{}
-				totals[k] = p
+		ph := u.iterPhases()
+		units = append(units, unitData{u.Name(), ph})
+		for it := range ph {
+			if !seen[it] {
+				seen[it] = true
+				iterIDs = append(iterIDs, it)
 			}
-			p.add(s.Kind, s.Duration())
-			seen[s.Iter] = true
 		}
 	}
 	// Rows come out in iteration order, then unit order, by
 	// construction: walk the sorted iteration set crossed with the
 	// units in their recorded (natural) order, instead of repairing a
 	// map walk with an after-the-fact sort.
-	iterIDs := make([]int, 0, len(seen))
-	for it := range seen {
-		iterIDs = append(iterIDs, it)
-	}
 	sort.Ints(iterIDs)
-	rows := make([]RankIter, 0, len(totals))
+	var rows []RankIter
 	for _, it := range iterIDs {
-		for _, name := range names {
-			if p, ok := totals[key{name, it}]; ok {
-				rows = append(rows, RankIter{Unit: name, Iter: it, Phases: *p})
+		for _, ud := range units {
+			if p, ok := ud.phases[it]; ok {
+				rows = append(rows, RankIter{Unit: ud.name, Iter: it, Phases: *p})
 			}
 		}
 	}
@@ -203,18 +199,16 @@ type UnitTotal struct {
 }
 
 // UnitTotals aggregates each unit's phase seconds over the whole run,
-// in natural unit order, excluding the marker track.
+// in natural unit order, excluding the marker track. Like Summarize
+// it is mode-independent: span-retaining and rollup recorders produce
+// bit-identical totals.
 func UnitTotals(r *Recorder) []UnitTotal {
 	var out []UnitTotal
 	for _, u := range r.Units() {
 		if u.Name() == IterUnit {
 			continue
 		}
-		t := UnitTotal{Unit: u.Name()}
-		for _, s := range u.Spans() {
-			t.Phases.add(s.Kind, s.Duration())
-		}
-		out = append(out, t)
+		out = append(out, UnitTotal{Unit: u.Name(), Phases: u.totalPhases()})
 	}
 	return out
 }

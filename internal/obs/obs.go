@@ -70,12 +70,21 @@ func (s Span) Duration() float64 { return s.End - s.Start }
 // confined to the goroutine currently simulating the unit; ownership
 // may move between epochs because the runs' WaitGroups order the
 // handoff.
+//
+// A Unit belonging to a rollup recorder (NewRollupRecorder) keeps no
+// spans: every emission folds online into the bounded per-(kind, iter)
+// aggregates of rollup.go, in exactly the order the spans would have
+// been appended, so the derived tables are bit-identical to the
+// span-retaining mode.
 type Unit struct {
 	name   string
 	iter   int
 	depth  int // nesting depth of open Begin sections
 	cursor float64
 	spans  []Span
+
+	// Rollup-mode state; nil in the span-retaining mode.
+	rollup *unitRollup
 }
 
 // Name returns the unit's export name.
@@ -178,7 +187,7 @@ func (u *Unit) Finish(now float64) {
 		return
 	}
 	if now > u.cursor {
-		u.spans = append(u.spans, Span{Kind: KindOther, Start: u.cursor, End: now, Iter: u.iter})
+		u.record(KindOther, u.cursor, now, 0, 0)
 		u.cursor = now
 	}
 }
@@ -189,7 +198,7 @@ func (u *Unit) Finish(now float64) {
 // attributed), and the cursor advances to the span's end.
 func (u *Unit) emit(kind string, start, end float64, bytes, flops int64) {
 	if start > u.cursor {
-		u.spans = append(u.spans, Span{Kind: KindOther, Start: u.cursor, End: start, Iter: u.iter})
+		u.record(KindOther, u.cursor, start, 0, 0)
 		u.cursor = start
 	} else {
 		start = u.cursor
@@ -198,22 +207,55 @@ func (u *Unit) emit(kind string, start, end float64, bytes, flops int64) {
 		end = start
 	}
 	if end > start || bytes != 0 || flops != 0 {
-		u.spans = append(u.spans, Span{Kind: kind, Start: start, End: end, Iter: u.iter, Bytes: bytes, Flops: flops})
+		u.record(kind, start, end, bytes, flops)
 		u.cursor = end
 	}
+}
+
+// record lands one finalized span: appended in the span-retaining
+// mode, folded into the online aggregates in rollup mode. Both paths
+// see the identical sequence of (kind, duration) emissions, which is
+// what makes the two modes' derived tables bit-identical.
+func (u *Unit) record(kind string, start, end float64, bytes, flops int64) {
+	if u.rollup != nil {
+		u.rollup.fold(kind, u.iter, end-start, bytes, flops)
+		return
+	}
+	u.spans = append(u.spans, Span{Kind: kind, Start: start, End: end, Iter: u.iter, Bytes: bytes, Flops: flops})
 }
 
 // Recorder owns the units of one observed run. Unit lookup is safe
 // from concurrent rank goroutines; the recorded spans themselves are
 // only read after the run's goroutines joined.
 type Recorder struct {
-	mu    sync.Mutex
-	units map[string]*Unit // guarded by mu
+	mu       sync.Mutex
+	units    map[string]*Unit  // guarded by mu
+	counters map[string]uint64 // guarded by mu
+	rollup   bool
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty span-retaining recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{units: make(map[string]*Unit)}
+}
+
+// NewRollupRecorder returns a recorder in streaming-aggregation mode:
+// units fold every span online into bounded per-(kind, iteration)
+// aggregates — count, seconds, bytes, flops, and a log2 duration
+// histogram — instead of retaining it. Memory is O(units × kinds ×
+// iterations) regardless of span count, which is what lets a
+// 4,096-rank discrete-event run stay observable. Raw-span consumers
+// (WriteTraceEvents full mode, Lanes) see empty timelines; the
+// derived tables (Summarize, UnitTotals, BuildProfile) are
+// bit-identical to the span-retaining mode.
+func NewRollupRecorder() *Recorder {
+	return &Recorder{units: make(map[string]*Unit), rollup: true}
+}
+
+// Rollup reports whether the recorder aggregates online instead of
+// retaining spans. A nil recorder reports false.
+func (r *Recorder) Rollup() bool {
+	return r != nil && r.rollup
 }
 
 // Unit returns the unit with the given name, creating it on first use.
@@ -227,9 +269,64 @@ func (r *Recorder) Unit(name string) *Unit {
 	u, ok := r.units[name]
 	if !ok {
 		u = &Unit{name: name, iter: -1}
+		if r.rollup {
+			u.rollup = newUnitRollup()
+		}
 		r.units[name] = u
 	}
 	return u
+}
+
+// AddCounter accumulates a named whole-run counter (scheduler parks,
+// event-queue dispatches, ...) into the recorder. Counters ride along
+// in the exported profile; they are not spans and have no time line.
+// Nil-safe and callable from any goroutine.
+func (r *Recorder) AddCounter(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	r.counters[name] += v
+}
+
+// MaxCounter folds a named counter as a running maximum instead of a
+// sum — the right combination for high-water marks like queue depth.
+// Nil-safe and callable from any goroutine.
+func (r *Recorder) MaxCounter(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	if v > r.counters[name] {
+		r.counters[name] = v
+	}
+}
+
+// Counters returns the recorded counters sorted by name.
+func (r *Recorder) Counters() []Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Counter, 0, len(names))
+	for _, name := range names {
+		out = append(out, Counter{Name: name, Value: r.counters[name]})
+	}
+	return out
 }
 
 // Units returns all units in natural name order ("rank/2" before

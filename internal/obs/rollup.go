@@ -1,0 +1,150 @@
+// The streaming-aggregation (rollup) tier of the recorder: bounded
+// per-unit state that every span emission folds into online, so runs
+// with millions of spans — a 4,096-rank discrete-event epoch — stay
+// observable without retaining any of them.
+//
+// Equivalence contract. The fold happens at the exact point a span
+// would have been appended, with the same kind, iteration label and
+// duration, in the same order. Per-iteration phase seconds and
+// whole-run phase totals are accumulated with the same additions in
+// the same sequence the span-retaining mode's Summarize/UnitTotals
+// would perform, so the derived tables of the two modes are
+// bit-identical, not merely close (TestRollupMatchesSummarize pins
+// this at every partition level, including crash recovery).
+package obs
+
+import "sort"
+
+// aggKey identifies one rollup cell: a span kind within an iteration
+// (-1 collects setup and recovery work outside any iteration).
+type aggKey struct {
+	kind string
+	iter int
+}
+
+// aggCell is one streaming aggregate: how many spans of this (kind,
+// iter) the unit emitted, their summed virtual seconds, modelled
+// traffic, and the log2 histogram of their durations.
+type aggCell struct {
+	count   uint64
+	seconds float64
+	bytes   int64
+	flops   int64
+	hist    Histogram
+}
+
+// unitRollup is one unit's bounded aggregation state. Key order is
+// tracked by insertion (first emission), never by map iteration, so
+// every derived ordering is a pure function of the emission sequence.
+type unitRollup struct {
+	aggs map[aggKey]*aggCell
+	keys []aggKey // aggs keys in first-emission order
+	// phases accumulates per-iteration phase seconds in emission order
+	// — the identical addition sequence Summarize performs over
+	// retained spans, which is what makes the two modes bit-equal.
+	phases map[int]*PhaseSeconds
+	// total is the whole-run phase breakdown, likewise accumulated in
+	// emission order to match UnitTotals on retained spans.
+	total PhaseSeconds
+}
+
+func newUnitRollup() *unitRollup {
+	return &unitRollup{
+		aggs:   make(map[aggKey]*aggCell),
+		phases: make(map[int]*PhaseSeconds),
+	}
+}
+
+// fold absorbs one span emission.
+func (ur *unitRollup) fold(kind string, iter int, d float64, bytes, flops int64) {
+	c, ok := ur.aggs[aggKey{kind, iter}]
+	if !ok {
+		c = &aggCell{}
+		ur.aggs[aggKey{kind, iter}] = c
+		ur.keys = append(ur.keys, aggKey{kind, iter})
+	}
+	c.count++
+	c.seconds += d
+	c.bytes += bytes
+	c.flops += flops
+	c.hist.Observe(d)
+
+	p, ok := ur.phases[iter]
+	if !ok {
+		p = &PhaseSeconds{}
+		ur.phases[iter] = p
+	}
+	p.add(kind, d)
+	ur.total.add(kind, d)
+}
+
+// iterPhases returns the unit's per-iteration phase breakdown — from
+// the online rollup when aggregating, by folding the retained spans
+// otherwise. Both paths perform the same additions in the same order.
+// The returned map is owned by the caller in span mode and shared in
+// rollup mode; treat it as read-only.
+func (u *Unit) iterPhases() map[int]*PhaseSeconds {
+	if u.rollup != nil {
+		return u.rollup.phases
+	}
+	m := make(map[int]*PhaseSeconds)
+	for _, s := range u.spans {
+		p, ok := m[s.Iter]
+		if !ok {
+			p = &PhaseSeconds{}
+			m[s.Iter] = p
+		}
+		p.add(s.Kind, s.Duration())
+	}
+	return m
+}
+
+// totalPhases returns the unit's whole-run phase breakdown, with the
+// same mode-independent bit-exactness as iterPhases.
+func (u *Unit) totalPhases() PhaseSeconds {
+	if u.rollup != nil {
+		return u.rollup.total
+	}
+	var p PhaseSeconds
+	for _, s := range u.spans {
+		p.add(s.Kind, s.Duration())
+	}
+	return p
+}
+
+// cells returns the unit's (kind, iter) aggregates in (iter, kind)
+// order — from the rollup state when aggregating, by folding the
+// retained spans otherwise. The fold visits spans in emission order,
+// so the sums are bit-identical across modes; key order comes from
+// the first-emission sequence (never a map walk) and is then sorted
+// under a total order over the distinct keys.
+func (u *Unit) cells() ([]aggKey, map[aggKey]*aggCell) {
+	var aggs map[aggKey]*aggCell
+	var keys []aggKey
+	if u.rollup != nil {
+		aggs = u.rollup.aggs
+		keys = append(keys, u.rollup.keys...)
+	} else {
+		aggs = make(map[aggKey]*aggCell)
+		for _, s := range u.spans {
+			c, ok := aggs[aggKey{s.Kind, s.Iter}]
+			if !ok {
+				c = &aggCell{}
+				aggs[aggKey{s.Kind, s.Iter}] = c
+				keys = append(keys, aggKey{s.Kind, s.Iter})
+			}
+			c.count++
+			c.seconds += s.Duration()
+			c.bytes += s.Bytes
+			c.flops += s.Flops
+			c.hist.Observe(s.Duration())
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].iter != keys[j].iter {
+			return keys[i].iter < keys[j].iter
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	return keys, aggs
+}

@@ -64,6 +64,16 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Stats are the scheduler's whole-run dispatch counters, exposed so
+// the observability layer can fold them into run profiles. Reading
+// them is only meaningful after Run returns (or between dispatches).
+type Stats struct {
+	Dispatches uint64 // events popped and handed to a task
+	Parks      uint64 // Park calls (voluntary suspensions)
+	Wakes      uint64 // Wake calls that actually enqueued an event
+	MaxQueue   int    // high-water mark of the event heap
+}
+
 // Sim is one scheduler instance: an event heap plus the set of tasks
 // it drives. A Sim is single-use per Run and is not safe for use from
 // goroutines outside its own task set.
@@ -74,6 +84,7 @@ type Sim struct {
 	live    int
 	running *Task
 	now     float64
+	stats   Stats
 
 	// yield is the shared hand-back channel: the running task sends on
 	// it when it parks or finishes, unblocking the scheduler loop.
@@ -144,7 +155,14 @@ func (t *Task) Wake(at float64) {
 	t.state = taskQueued
 	s.seq++
 	heap.Push(&s.events, event{time: at, unit: t.unit, seq: s.seq, task: t})
+	s.stats.Wakes++
+	if n := s.events.Len(); n > s.stats.MaxQueue {
+		s.stats.MaxQueue = n
+	}
 }
+
+// Stats returns the scheduler's dispatch counters so far.
+func (s *Sim) Stats() Stats { return s.stats }
 
 // Park suspends the calling task until some other task (or the fault
 // machinery it triggers) Wakes it. Callers must re-check their wait
@@ -155,6 +173,7 @@ func (t *Task) Park() {
 		panic("sched: Park called from a task that is not running")
 	}
 	t.state = taskParked
+	t.sim.stats.Parks++
 	t.sim.yield <- struct{}{}
 	<-t.resume
 }
@@ -187,6 +206,7 @@ func (s *Sim) Run() error {
 			return fmt.Errorf("sched: event for unit %d in state %d", ev.unit, t.state)
 		}
 		s.now = ev.time
+		s.stats.Dispatches++
 		t.state = taskRunning
 		s.running = t
 		t.resume <- struct{}{}

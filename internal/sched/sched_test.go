@@ -216,3 +216,70 @@ func TestDeadlockIsError(t *testing.T) {
 		t.Fatal("expected non-nil error")
 	}
 }
+
+// TestStatsCounters: the dispatch counters account for every event
+// popped, every voluntary park, and every enqueueing wake, and the
+// queue high-water mark is at least the initial spawn burst.
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	var got []int
+	var queue []int
+	var consumer *Task
+	consumer = s.Spawn(0, 0, func(self *Task) {
+		for len(got) < 3 {
+			for len(queue) == 0 {
+				self.Park()
+			}
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+	})
+	s.Spawn(1, 1.0, func(*Task) {
+		for i := 1; i <= 3; i++ {
+			queue = append(queue, i)
+			consumer.Wake(float64(i))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// Two spawn wakes plus the producer's first effective Wake (the
+	// consumer re-parks between items, so later wakes enqueue too).
+	if st.Wakes < 3 {
+		t.Errorf("Wakes = %d, want >= 3", st.Wakes)
+	}
+	if st.Dispatches != st.Wakes {
+		t.Errorf("Dispatches = %d, Wakes = %d; every enqueued event is dispatched exactly once", st.Dispatches, st.Wakes)
+	}
+	if st.Parks < 1 {
+		t.Errorf("Parks = %d, want >= 1", st.Parks)
+	}
+	if st.MaxQueue < 2 {
+		t.Errorf("MaxQueue = %d, want >= 2 (both spawns queued before Run)", st.MaxQueue)
+	}
+	// Deterministic: an identical run reports identical counters.
+	s2 := New()
+	got, queue = nil, nil
+	consumer = s2.Spawn(0, 0, func(self *Task) {
+		for len(got) < 3 {
+			for len(queue) == 0 {
+				self.Park()
+			}
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+	})
+	s2.Spawn(1, 1.0, func(*Task) {
+		for i := 1; i <= 3; i++ {
+			queue = append(queue, i)
+			consumer.Wake(float64(i))
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats() != st {
+		t.Errorf("identical runs report different stats: %+v vs %+v", s2.Stats(), st)
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics aggregates the serving counters the degradation contract is
@@ -47,42 +48,39 @@ type Metrics struct {
 	TrainerRestarts atomic.Uint64
 
 	mu sync.Mutex
-	// lat is a bounded reservoir of recent request latencies; guarded
-	// by mu.
-	lat []time.Duration
-	// latNext is the ring cursor into lat; guarded by mu.
-	latNext int
+	// lat is the log2 latency histogram shared with the simulator's
+	// observability layer (internal/obs) — fixed memory regardless of
+	// request volume, whole-run coverage instead of a recent-request
+	// ring; guarded by mu.
+	lat obs.Histogram
 }
-
-// latCap bounds the latency reservoir (a ring of recent requests).
-const latCap = 8192
 
 // ObserveLatency records one answered request's wall-clock latency.
 func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.mu.Lock()
-	if len(m.lat) < latCap {
-		m.lat = append(m.lat, d)
-	} else {
-		m.lat[m.latNext] = d
-		m.latNext = (m.latNext + 1) % latCap
-	}
+	m.lat.Observe(d.Seconds())
 	m.mu.Unlock()
 }
 
-// quantiles returns the p50 and p99 of the latency reservoir.
-func (m *Metrics) quantiles() (p50, p99 time.Duration) {
+// LatencyHist returns a copy of the latency histogram.
+func (m *Metrics) LatencyHist() obs.Histogram {
 	m.mu.Lock()
-	tmp := append([]time.Duration(nil), m.lat...)
-	m.mu.Unlock()
-	if len(tmp) == 0 {
+	defer m.mu.Unlock()
+	return m.lat
+}
+
+// quantiles returns the p50 and p99 of the latency histogram. Values
+// are bucket upper bounds, so a quantile overstates the true latency
+// by at most a factor of two (docs/SERVING.md pins this resolution).
+func (m *Metrics) quantiles() (p50, p99 time.Duration) {
+	h := m.LatencyHist()
+	if h.Total() == 0 {
 		return 0, 0
 	}
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(tmp)-1))
-		return tmp[i]
+	sec := func(q float64) time.Duration {
+		return time.Duration(h.Quantile(q) * float64(time.Second))
 	}
-	return at(0.50), at(0.99)
+	return sec(0.50), sec(0.99)
 }
 
 // MetricsSnapshot is one point-in-time reading — the JSON object of the

@@ -11,30 +11,48 @@ import (
 func TestMetricsLatencyQuantiles(t *testing.T) {
 	m := &Metrics{}
 	if p50, p99 := m.quantiles(); p50 != 0 || p99 != 0 {
-		t.Errorf("empty reservoir quantiles %v/%v", p50, p99)
+		t.Errorf("empty histogram quantiles %v/%v", p50, p99)
 	}
 	for i := 1; i <= 100; i++ {
 		m.ObserveLatency(time.Duration(i) * time.Millisecond)
 	}
+	// Quantiles are log2 bucket upper bounds: the true p50 of 1..100ms
+	// is 50ms, reported as the 2^26ns ≈ 67.1ms bucket bound; the true
+	// p99 (99ms) reports as 2^27ns ≈ 134.2ms. Each is within the
+	// histogram's factor-of-two resolution, never below the true value.
 	p50, p99 := m.quantiles()
-	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
-		t.Errorf("p50 = %v", p50)
+	if p50 < 50*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Errorf("p50 = %v, want within one log2 bucket above 50ms", p50)
 	}
-	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
-		t.Errorf("p99 = %v", p99)
+	if p99 < 99*time.Millisecond || p99 > 198*time.Millisecond {
+		t.Errorf("p99 = %v, want within one log2 bucket above 99ms", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
 	}
 }
 
-func TestMetricsLatencyRingBounded(t *testing.T) {
+func TestMetricsLatencyBoundedMemory(t *testing.T) {
+	// The histogram is fixed-size state: any number of observations
+	// lands in the same 64 buckets, and the count is exact (the old
+	// ring overwrote history).
 	m := &Metrics{}
-	for i := 0; i < latCap+500; i++ {
+	const n = 100000
+	for i := 0; i < n; i++ {
 		m.ObserveLatency(time.Millisecond)
 	}
-	m.mu.Lock()
-	n := len(m.lat)
-	m.mu.Unlock()
-	if n != latCap {
-		t.Fatalf("reservoir holds %d, cap is %d", n, latCap)
+	h := m.LatencyHist()
+	if got := h.Total(); got != n {
+		t.Fatalf("histogram holds %d observations, want %d", got, n)
+	}
+	nonzero := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("identical observations spread over %d buckets", nonzero)
 	}
 }
 

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if w := postJSON(t, h, "/v1/assign", assignRequest{Points: [][]float64{{0, 0}}}); w.Code != http.StatusOK {
+			t.Fatal("warm-up assign failed")
+		}
+	}
+	w := getPath(h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE swkmeansd_served_total counter",
+		"swkmeansd_served_total 3",
+		"# TYPE swkmeansd_request_duration_seconds histogram",
+		"swkmeansd_request_duration_seconds_bucket{le=\"+Inf\"} 3",
+		"swkmeansd_request_duration_seconds_count 3",
+		"# TYPE swkmeansd_snapshot_epoch gauge",
+		"swkmeansd_snapshot_epoch 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+}
+
+// TestMetricsEndpointAnswersWhileDraining pins that the monitoring
+// plane outlives the data plane: a draining daemon refuses assigns but
+// still answers scrapes.
+func TestMetricsEndpointAnswersWhileDraining(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	s.Drain()
+	h := s.Handler()
+	if w := postJSON(t, h, "/v1/assign", assignRequest{Points: [][]float64{{0, 0}}}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining assign status %d", w.Code)
+	}
+	if w := getPath(h, "/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("draining /metrics status %d", w.Code)
+	}
+}
+
+// TestPrometheusHistogramShape checks the exposition's histogram
+// contract: cumulative monotone buckets, le bounds matching the shared
+// log2 layout, and sum/count agreeing with the raw histogram.
+func TestPrometheusHistogramShape(t *testing.T) {
+	m := &Metrics{}
+	durs := []time.Duration{
+		500 * time.Nanosecond, // below the emitted range: folds into the first bucket
+		3 * time.Microsecond,
+		2 * time.Millisecond,
+		2 * time.Millisecond,
+		90 * time.Second, // above the emitted range: +Inf only
+	}
+	for _, d := range durs {
+		m.ObserveLatency(d)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m, nil, nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var bounds []float64
+	var counts []uint64
+	var infCount, count uint64
+	var sum float64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "swkmeansd_request_duration_seconds_bucket{le=\"+Inf\"}"):
+			v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infCount = v
+		case strings.HasPrefix(line, "swkmeansd_request_duration_seconds_bucket{le="):
+			rest := strings.TrimPrefix(line, "swkmeansd_request_duration_seconds_bucket{le=\"")
+			q := strings.Index(rest, "\"")
+			b, err := strconv.ParseFloat(rest[:q], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds = append(bounds, b)
+			counts = append(counts, v)
+		case strings.HasPrefix(line, "swkmeansd_request_duration_seconds_sum "):
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum = v
+		case strings.HasPrefix(line, "swkmeansd_request_duration_seconds_count "):
+			v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count = v
+		}
+	}
+	if len(bounds) != promBucketHi-promBucketLo+1 {
+		t.Fatalf("%d finite buckets, want %d", len(bounds), promBucketHi-promBucketLo+1)
+	}
+	for i := range bounds {
+		if want := obs.HistBucketUpper(promBucketLo + i); bounds[i] != want {
+			t.Errorf("bucket %d bound %g, want %g", i, bounds[i], want)
+		}
+		if i > 0 && counts[i] < counts[i-1] {
+			t.Errorf("bucket counts not cumulative at %d: %d < %d", i, counts[i], counts[i-1])
+		}
+	}
+	if infCount != uint64(len(durs)) || count != uint64(len(durs)) {
+		t.Errorf("+Inf %d / count %d, want %d", infCount, count, len(durs))
+	}
+	// The last finite bucket misses only the 90s outlier.
+	if got := counts[len(counts)-1]; got != uint64(len(durs)-1) {
+		t.Errorf("last finite bucket %d, want %d", got, len(durs)-1)
+	}
+	var wantSum float64
+	for _, d := range durs {
+		wantSum += d.Seconds()
+	}
+	if math.Abs(sum-wantSum) > 1e-12 {
+		t.Errorf("sum %g, want %g", sum, wantSum)
+	}
+}
+
+// TestStatsQuantileSchema pins the /v1/stats latency fields to the
+// histogram semantics documented in docs/SERVING.md: p50_ms and p99_ms
+// are log2 bucket upper bounds — at or above the true quantile, within
+// a factor of two.
+func TestStatsQuantileSchema(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	for i := 0; i < 100; i++ {
+		s.cfg.Metrics.ObserveLatency(10 * time.Millisecond)
+	}
+	w := getPath(s.Handler(), "/v1/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	// 10ms lands in the 2^24ns bucket: upper bound 16.777216ms. The
+	// snapshot path rounds through integer nanoseconds, hence the
+	// tolerance.
+	want := obs.HistBucketUpper(obs.HistBucket(0.010)) * 1e3
+	if math.Abs(snap.P50MS-want) > 1e-6 || math.Abs(snap.P99MS-want) > 1e-6 {
+		t.Errorf("p50/p99 = %g/%g ms, want bucket bound %g", snap.P50MS, snap.P99MS, want)
+	}
+	if snap.P50MS < 10 || snap.P50MS > 20 {
+		t.Errorf("p50 %gms outside one log2 bucket above 10ms", snap.P50MS)
+	}
+}

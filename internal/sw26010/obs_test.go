@@ -3,6 +3,7 @@ package sw26010
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -103,5 +104,56 @@ func TestFineGrainedObserver(t *testing.T) {
 		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 			t.Errorf("%s: repeated runs export different traces", rn.name)
 		}
+	}
+}
+
+// TestFineGrainedRollupEquivalence pins the rollup recorder's
+// equivalence contract on a fine-grained kernel: a CPE-granularity
+// Level-3 run summarizes and profiles bit-identically from either
+// recorder mode, and the rollup retains no spans.
+func TestFineGrainedRollupEquivalence(t *testing.T) {
+	g := mixture(t, 256, 8, 4)
+	spec := machine.MustSpec(1)
+	init, err := core.InitialCentroids(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(rec *obs.Recorder) {
+		if _, err := RunLevel3Group(spec, g, init, 2, 64, 6, 0, WithObserver(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	span, roll := obs.NewRecorder(), obs.NewRollupRecorder()
+	run(span)
+	run(roll)
+	if !reflect.DeepEqual(obs.Summarize(roll), obs.Summarize(span)) {
+		t.Error("Summarize diverges across recorder modes on a fine kernel")
+	}
+	if !reflect.DeepEqual(obs.UnitTotals(roll), obs.UnitTotals(span)) {
+		t.Error("UnitTotals diverges across recorder modes on a fine kernel")
+	}
+	var pSpan, pRoll bytes.Buffer
+	if err := obs.WriteProfileJSON(&pSpan, span); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteProfileJSON(&pRoll, roll); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pSpan.Bytes(), pRoll.Bytes()) {
+		t.Error("profile JSON diverges across recorder modes on a fine kernel")
+	}
+	for _, u := range roll.Units() {
+		if len(u.Spans()) != 0 {
+			t.Errorf("rollup unit %s retained spans", u.Name())
+		}
+	}
+	// The fine lanes collapse into cpe / cg/cpe / rank classes.
+	p := obs.BuildProfile(roll)
+	classes := map[string]bool{}
+	for _, c := range p.Classes {
+		classes[c.Class] = true
+	}
+	if !classes["cg/cpe"] || !classes["rank"] {
+		t.Errorf("fine-kernel profile classes = %+v, want cg/cpe and rank", p.Classes)
 	}
 }

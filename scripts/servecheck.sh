@@ -51,6 +51,30 @@ if ! "$TMP/kmload" \
 fi
 cat "$TMP/report.json"
 
+# The Prometheus surface: one scrape of /metrics must expose the
+# serving counters and the latency histogram in text format 0.0.4,
+# with a served count consistent with the load phase that just ran.
+echo "servecheck: scraping /metrics"
+ADDR=$(cat "$TMP/addr")
+curl -fsS "http://$ADDR/metrics" >"$TMP/scrape.txt"
+for want in \
+    "# TYPE swkmeansd_served_total counter" \
+    "# TYPE swkmeansd_request_duration_seconds histogram" \
+    "swkmeansd_request_duration_seconds_bucket{le=\"+Inf\"}" \
+    "swkmeansd_request_duration_seconds_count" \
+    "swkmeansd_snapshot_epoch"; do
+    if ! grep -qF "$want" "$TMP/scrape.txt"; then
+        echo "servecheck: FAIL: /metrics scrape is missing: $want" >&2
+        cat "$TMP/scrape.txt" >&2
+        exit 1
+    fi
+done
+SERVED=$(awk '/^swkmeansd_served_total /{print $2}' "$TMP/scrape.txt")
+if [ "${SERVED:-0}" -lt 100 ]; then
+    echo "servecheck: FAIL: scrape reports served=$SERVED after a >=100-request load" >&2
+    exit 1
+fi
+
 # The scheduled crash must actually have fired and been supervised
 # back to life — otherwise the scenario tested nothing.
 if ! grep -q "trainer died" "$TMP/daemon.log"; then
