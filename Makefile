@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race faultcheck obscheck schedcheck servecheck bench benchdiff
+.PHONY: check build vet lint lint-fix lint-sarif fixcheck test race faultcheck obscheck schedcheck servecheck bench benchdiff
 
-# check is the full gate: build, vet, swlint, tests under the race
-# detector, the fault-injection smoke matrix, the trace-export
-# determinism check, the 4,096-rank scheduler gate, and the
-# online-serving chaos scenario.
-check: build vet lint race faultcheck obscheck schedcheck servecheck
+# check is the full gate: build, vet, swlint, the autofix-idempotency
+# gate, tests under the race detector, the fault-injection smoke
+# matrix, the trace-export determinism check, the 4,096-rank scheduler
+# gate, and the online-serving chaos scenario.
+check: build vet lint fixcheck race faultcheck obscheck schedcheck servecheck
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,27 @@ lint-fix:
 # upload; the report is written even when findings make the run fail.
 lint-sarif:
 	$(GO) run ./cmd/swlint -format sarif ./... > swlint.sarif; test $$? -le 1
+
+# fixcheck is the autofix-idempotency gate: swlint -fix must be a
+# no-op. A changed tree means a mechanical fix was committed unapplied
+# (run `make lint-fix` and commit the result) or a fixer rewrites code
+# it already fixed — either way the tree and the fixers have diverged.
+# The git diff is snapshotted before and after so the gate also works
+# on a dirty development tree; in CI's clean checkout this reduces to
+# `git diff --exit-code`. swlint's own exit status is swallowed here
+# (unfixable findings are the `lint` target's verdict); this gate only
+# asserts that -fix left every tracked .go file byte-identical.
+fixcheck:
+	@git diff -- '*.go' > .fixcheck-before.diff
+	$(GO) run ./cmd/swlint -fix ./... || true
+	@git diff -- '*.go' > .fixcheck-after.diff
+	@if ! cmp -s .fixcheck-before.diff .fixcheck-after.diff; then \
+		echo "fixcheck: swlint -fix modified the tree; run 'make lint-fix' and commit:"; \
+		diff .fixcheck-before.diff .fixcheck-after.diff; \
+		rm -f .fixcheck-before.diff .fixcheck-after.diff; \
+		exit 1; \
+	fi
+	@rm -f .fixcheck-before.diff .fixcheck-after.diff
 
 test:
 	$(GO) test ./...

@@ -95,10 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*noCache {
 		opts.CacheDir = lint.DefaultCacheDir(cfg.ModuleRoot)
 	}
+	// Stats are always collected: the suppression census feeds the
+	// SARIF run properties whether or not -stats prints it.
 	var runStats lint.RunStats
-	if *stats {
-		opts.Stats = &runStats
-	}
+	opts.Stats = &runStats
 	findings, err := lint.RunWithOptions(cfg, patterns, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "swlint:", err)
@@ -161,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *format == "sarif" {
-		if err := lint.WriteSARIF(stdout, findings, lint.AllRules(cfg), cfg.ModuleRoot); err != nil {
+		if err := lint.WriteSARIF(stdout, findings, lint.AllRules(cfg), cfg.ModuleRoot, runStats.Suppressions); err != nil {
 			fmt.Fprintln(stderr, "swlint:", err)
 			return 2
 		}
@@ -181,8 +181,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // printStats reports the run's shape: how many packages were analyzed,
-// how many came from the cache, and the per-rule finding counts after
-// baseline filtering.
+// how many came from the cache, the per-rule finding counts after
+// baseline filtering, and the suppression census — which rules are
+// most often //swlint:ignore'd module-wide, largest debt first.
 func printStats(w io.Writer, s lint.RunStats, findings []lint.Finding) {
 	rate := 0.0
 	if s.Packages > 0 {
@@ -200,5 +201,30 @@ func printStats(w io.Writer, s lint.RunStats, findings []lint.Finding) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		fmt.Fprintf(w, "swlint: stats: %-18s %d\n", id, counts[id])
+	}
+	total := 0
+	for _, n := range s.Suppressions {
+		total += n
+	}
+	fmt.Fprintf(w, "swlint: stats: %d suppression(s) module-wide\n", total)
+	if total > 0 {
+		type row struct {
+			rule string
+			n    int
+		}
+		rows := make([]row, 0, len(s.Suppressions))
+		for rule, n := range s.Suppressions {
+			rows = append(rows, row{rule, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].rule < rows[j].rule
+		})
+		fmt.Fprintln(w, "swlint: stats: top suppressed rules:")
+		for _, r := range rows {
+			fmt.Fprintf(w, "swlint: stats:   %-18s %d\n", r.rule, r.n)
+		}
 	}
 }

@@ -49,16 +49,27 @@ func LoadBaseline(path string) (*Baseline, error) {
 		}
 		return nil, err
 	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// ParseBaseline decodes and validates baseline JSON: every entry must
+// carry rule, file, message and a non-blank reason. Factored out of
+// LoadBaseline so the validation logic is fuzzable on raw bytes.
+func ParseBaseline(data []byte) (*Baseline, error) {
 	var b Baseline
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, fmt.Errorf("parse baseline: %w", err)
 	}
 	for i, e := range b.Entries {
 		if e.Rule == "" || e.File == "" || e.Message == "" {
-			return nil, fmt.Errorf("%s: entry %d is missing rule, file, or message", path, i)
+			return nil, fmt.Errorf("entry %d is missing rule, file, or message", i)
 		}
 		if strings.TrimSpace(e.Reason) == "" {
-			return nil, fmt.Errorf("%s: entry %d (%s in %s) has no reason; baseline entries must say why the finding is tolerated", path, i, e.Rule, e.File)
+			return nil, fmt.Errorf("entry %d (%s in %s) has no reason; baseline entries must say why the finding is tolerated", i, e.Rule, e.File)
 		}
 	}
 	return &b, nil

@@ -45,6 +45,10 @@ type RunStats struct {
 	Packages int
 	// CacheHits is how many of them were served from the on-disk cache.
 	CacheHits int
+	// Suppressions is the module-wide per-rule //swlint:ignore census,
+	// aggregated across packages (cache hits included — the counts ride
+	// in the cache entries).
+	Suppressions map[string]int
 }
 
 // RunWithOptions is Run with explicit parallelism and caching. Findings
@@ -84,6 +88,7 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 		}
 	}
 	results := make([][]Finding, len(dirs))
+	supps := make([]map[string]int, len(dirs))
 	errs := make([]error, len(dirs))
 	hits := make([]bool, len(dirs))
 	sem := make(chan struct{}, jobs)
@@ -94,7 +99,7 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], hits[i], errs[i] = checkDir(loader, rules, store, dir)
+			results[i], supps[i], hits[i], errs[i] = checkDir(loader, rules, store, dir)
 		}(i, dir)
 	}
 	wg.Wait()
@@ -107,9 +112,13 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 	}
 	if opts.Stats != nil {
 		opts.Stats.Packages = len(dirs)
-		for _, hit := range hits {
+		opts.Stats.Suppressions = make(map[string]int)
+		for i, hit := range hits {
 			if hit {
 				opts.Stats.CacheHits++
+			}
+			for rule, n := range supps[i] {
+				opts.Stats.Suppressions[rule] += n
 			}
 		}
 	}
@@ -121,25 +130,25 @@ func RunWithOptions(cfg Config, patterns []string, opts RunOptions) ([]Finding, 
 // enabled. Cache failures (unreadable entries, hash errors) degrade to
 // a live run — the cache is an accelerator, never a correctness
 // dependency.
-func checkDir(loader *Loader, rules []Rule, store *cacheStore, dir string) ([]Finding, bool, error) {
+func checkDir(loader *Loader, rules []Rule, store *cacheStore, dir string) ([]Finding, map[string]int, bool, error) {
 	var key string
 	if store != nil {
 		if k, err := store.key(dir); err == nil {
 			key = k
-			if findings, ok := store.load(k); ok {
-				return findings, true, nil
+			if findings, supp, ok := store.load(k); ok {
+				return findings, supp, true, nil
 			}
 		}
 	}
 	p, err := loader.LoadDir(dir, "")
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	findings := CheckPackage(rules, p)
+	findings, supp := checkPackageWithSupp(rules, p)
 	if store != nil && key != "" {
-		store.save(key, findings)
+		store.save(key, findings, supp)
 	}
-	return findings, false, nil
+	return findings, supp, false, nil
 }
 
 // configFingerprint digests everything about the configuration that
@@ -153,7 +162,7 @@ func configFingerprint(cfg Config, rules []Rule) string {
 			h.Write([]byte{0})
 		}
 	}
-	w("swlint", ToolVersion, cfg.ModulePath, cfg.LDMPackage, cfg.CommPackage, cfg.VClockPackage, cfg.DMAPackage)
+	w("swlint", ToolVersion, cfg.ModulePath, cfg.LDMPackage, cfg.CommPackage, cfg.VClockPackage, cfg.DMAPackage, cfg.SchedPackage)
 	w(cfg.SimPackages...)
 	w(cfg.CapacityExempt...)
 	ids := make([]string, 0, len(rules))
@@ -300,29 +309,33 @@ func (s *cacheStore) key(dir string) (string, error) {
 // valid; load rehydrates them to absolute paths.
 type cacheEntry struct {
 	Findings []Finding `json:"findings"`
+	// Suppressions is the package's per-rule //swlint:ignore census,
+	// carried in the entry so a fully cached run still aggregates the
+	// module-wide suppression report without parsing anything.
+	Suppressions map[string]int `json:"suppressions,omitempty"`
 }
 
 func (s *cacheStore) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
-func (s *cacheStore) load(key string) ([]Finding, bool) {
+func (s *cacheStore) load(key string) ([]Finding, map[string]int, bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	for i := range e.Findings {
 		s.rebase(&e.Findings[i], false)
 	}
-	return e.Findings, true
+	return e.Findings, e.Suppressions, true
 }
 
-func (s *cacheStore) save(key string, findings []Finding) {
-	e := cacheEntry{Findings: make([]Finding, len(findings))}
+func (s *cacheStore) save(key string, findings []Finding, supp map[string]int) {
+	e := cacheEntry{Findings: make([]Finding, len(findings)), Suppressions: supp}
 	for i, f := range findings {
 		if f.Fix != nil {
 			fix := *f.Fix

@@ -1,0 +1,817 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Control-flow graphs over the typed AST. The v3 engine answered every
+// ordering question positionally ("does a sort call appear later in
+// the source?"), which the docs called out as its known blind spot: a
+// sort behind a condition looked unconditional, and a sort reached via
+// a loop back edge looked absent. This file builds real basic blocks
+// with branch, loop, switch, select, defer, goto and panic edges, and
+// the facts the semantic rules consume:
+//
+//   - sortedOnAllPaths: the CFG replacement for the positional
+//     "sorted after the loop" approximation (map-order,
+//     goroutine-purity fan-in);
+//   - reachableNodes: the early-exit tail of collective-match, so
+//     collectives that follow the enclosing block — not just the
+//     enclosing statement list — participate in matching;
+//   - onCycle: whether a block re-executes, the park-recheck rule's
+//     definition of "guard re-checked in an enclosing loop";
+//   - lockSets: a forward union dataflow of held sync.Mutex /
+//     sync.RWMutex receivers per block, the lock-across-park rule's
+//     substrate.
+//
+// The graph is per funcUnit and intraprocedural; interprocedural facts
+// (a helper that parks or enters a collective) arrive through the v3
+// function summaries at the call site. Function-literal bodies are not
+// descended into — each literal is its own funcUnit with its own graph.
+
+// cfgBlock is one basic block: a maximal sequence of statements (and
+// condition expressions) with a single entry and branch-free interior.
+type cfgBlock struct {
+	index int
+	kind  string // entry, exit, body, then, else, merge, loop-head, loop-body, loop-post, loop-after, case, comm, defer, label, dead
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfgGraph is the control-flow graph of one function.
+type cfgGraph struct {
+	fn     funcUnit
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+	// deferBlock collects deferred calls (in LIFO order); every return
+	// edge routes through it when the function defers anything.
+	deferBlock *cfgBlock
+	// loopAfter maps each for/range statement to the block control
+	// reaches when the loop exits normally or via break.
+	loopAfter map[ast.Stmt]*cfgBlock
+	// ifMerge maps each else-less if statement to the block control
+	// reaches when its condition is false.
+	ifMerge map[*ast.IfStmt]*cfgBlock
+}
+
+// ctrlFrame is one enclosing breakable/continuable construct during
+// construction.
+type ctrlFrame struct {
+	label  string
+	brk    *cfgBlock
+	cont   *cfgBlock // nil for switch/select frames
+	isLoop bool
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	g        *cfgGraph
+	cur      *cfgBlock
+	frames   []ctrlFrame
+	labels   map[string]*cfgBlock
+	gotos    []pendingGoto
+	fallNext *cfgBlock // fallthrough target inside a switch clause
+	pending  string    // label awaiting the statement it names
+	defers   []ast.Node
+	p        *Package
+}
+
+// buildCFG constructs the control-flow graph of fn's body. A bodiless
+// function yields the trivial entry→exit graph.
+func buildCFG(p *Package, fn funcUnit) *cfgGraph {
+	g := &cfgGraph{
+		fn:        fn,
+		loopAfter: make(map[ast.Stmt]*cfgBlock),
+		ifMerge:   make(map[*ast.IfStmt]*cfgBlock),
+	}
+	b := &cfgBuilder{g: g, labels: make(map[string]*cfgBlock), p: p}
+	g.entry = b.newBlock("entry")
+	g.exit = &cfgBlock{kind: "exit"}
+	b.cur = g.entry
+	if fn.body != nil {
+		b.stmts(fn.body.List)
+	}
+	ret := g.exit
+	if len(b.defers) > 0 {
+		g.deferBlock = b.newBlock("defer")
+		for i := len(b.defers) - 1; i >= 0; i-- {
+			g.deferBlock.nodes = append(g.deferBlock.nodes, b.defers[i])
+		}
+		b.edge(g.deferBlock, g.exit)
+		ret = g.deferBlock
+		// Rewire earlier direct return edges through the defer block.
+		for _, blk := range g.blocks {
+			if blk == g.deferBlock {
+				continue
+			}
+			for i, s := range blk.succs {
+				if s == g.exit {
+					blk.succs[i] = g.deferBlock
+				}
+			}
+		}
+	}
+	b.edge(b.cur, ret)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		} else {
+			b.edge(pg.from, ret)
+		}
+	}
+	g.exit.index = len(g.blocks)
+	g.blocks = append(g.blocks, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks), kind: kind}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// seal ends the current block after a control transfer; subsequent
+// statements are unreachable and land in a fresh predecessor-less
+// block so every node still belongs to some block.
+func (b *cfgBuilder) seal() {
+	b.cur = b.newBlock("dead")
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		lbl := b.newBlock("label")
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		b.labels[s.Label.Name] = lbl
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchStmt(nil, nil, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.exit)
+		b.seal()
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminatingCall(b.p, s.X) {
+			b.edge(b.cur, b.g.exit)
+			b.seal()
+		}
+	default:
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	merge := &cfgBlock{kind: "merge"} // appended after the arms for readable indices
+
+	then := b.newBlock("then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.edge(b.cur, merge)
+
+	switch e := s.Else.(type) {
+	case nil:
+		b.edge(cond, merge)
+		b.g.ifMerge[s] = merge
+	case *ast.BlockStmt:
+		els := b.newBlock("else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmts(e.List)
+		b.edge(b.cur, merge)
+	case *ast.IfStmt:
+		els := b.newBlock("else")
+		b.edge(cond, els)
+		b.cur = els
+		b.ifStmt(e)
+		b.edge(b.cur, merge)
+	}
+	merge.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, merge)
+	b.cur = merge
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("loop-head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+	}
+	after := &cfgBlock{kind: "loop-after"}
+	var post *cfgBlock
+	cont := head
+	if s.Post != nil {
+		post = &cfgBlock{kind: "loop-post"}
+		cont = post
+	}
+	body := b.newBlock("loop-body")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: cont, isLoop: true})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		post.index = len(b.g.blocks)
+		b.g.blocks = append(b.g.blocks, post)
+		b.edge(b.cur, post)
+		post.nodes = append(post.nodes, s.Post)
+		b.edge(post, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	after.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, after)
+	b.g.loopAfter[s] = after
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range-head")
+	b.edge(b.cur, head)
+	head.nodes = append(head.nodes, s.X)
+	after := &cfgBlock{kind: "loop-after"}
+	body := b.newBlock("loop-body")
+	b.edge(head, body)
+	b.edge(head, after)
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after, cont: head, isLoop: true})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	after.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, after)
+	b.g.loopAfter[s] = after
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	after := &cfgBlock{kind: "merge"}
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		caseBlocks[i] = b.newBlock("case")
+		b.edge(head, caseBlocks[i])
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(caseBlocks) {
+			b.fallNext = caseBlocks[i+1]
+		} else {
+			b.fallNext = nil
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallNext = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	after.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, after)
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := &cfgBlock{kind: "merge"}
+	b.frames = append(b.frames, ctrlFrame{label: label, brk: after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("comm")
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	after.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, after)
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.cur, f.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isLoop && (label == "" || f.label == label) {
+				b.edge(b.cur, f.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	case token.FALLTHROUGH:
+		b.edge(b.cur, b.fallNext)
+	}
+	b.seal()
+}
+
+// terminatingCall reports whether the expression statement never
+// returns: a panic call or os.Exit.
+func terminatingCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "os" && fn.Name() == "Exit" {
+		return true
+	}
+	return false
+}
+
+// blockFor returns the block whose narrowest node span contains n, or
+// nil when no node covers it (e.g. a node of a nested function
+// literal, which belongs to its own graph).
+func (g *cfgGraph) blockFor(n ast.Node) *cfgBlock {
+	var best *cfgBlock
+	var bestSpan token.Pos = -1
+	for _, blk := range g.blocks {
+		for _, node := range blk.nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				span := node.End() - node.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					best, bestSpan = blk, span
+				}
+			}
+		}
+	}
+	return best
+}
+
+// onCycle reports whether b lies on a CFG cycle — control can leave b
+// and come back, i.e. the statement re-executes. This is the
+// park-recheck rule's notion of "inside a re-checking loop": a parked
+// task that wakes spuriously re-evaluates its guard only if its Park
+// re-executes.
+func (g *cfgGraph) onCycle(b *cfgBlock) bool {
+	seen := make([]bool, len(g.blocks)+1)
+	stack := append([]*cfgBlock(nil), b.succs...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == b {
+			return true
+		}
+		if cur.index < len(seen) && seen[cur.index] {
+			continue
+		}
+		seen[cur.index] = true
+		stack = append(stack, cur.succs...)
+	}
+	return false
+}
+
+// reachableBlocks returns every block reachable from start (start
+// included), following all edges.
+func (g *cfgGraph) reachableBlocks(start *cfgBlock) []*cfgBlock {
+	seen := make(map[*cfgBlock]bool)
+	stack := []*cfgBlock{start}
+	var out []*cfgBlock
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		stack = append(stack, cur.succs...)
+	}
+	return out
+}
+
+// reachableNodes returns the AST nodes of every block reachable from
+// start whose span is not inside exclude — the CFG tail of an
+// early-exit branch, with the branch's own arm (and condition)
+// filtered out even when a loop back edge makes them reachable.
+func (g *cfgGraph) reachableNodes(start *cfgBlock, exclude ast.Node) []ast.Node {
+	var out []ast.Node
+	for _, blk := range g.reachableBlocks(start) {
+		for _, n := range blk.nodes {
+			if exclude != nil && n.Pos() >= exclude.Pos() && n.End() <= exclude.End() {
+				continue
+			}
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// sortedOnAllPaths reports whether every path from the program point
+// after n to the function exit passes a total-order sort of v. This is
+// the CFG replacement for the v3 positional check: a sort behind a
+// condition no longer counts (some path escapes unsorted), and a sort
+// reached via an enclosing loop's back edge does.
+func (g *cfgGraph) sortedOnAllPaths(p *Package, v *types.Var, n ast.Node) bool {
+	type point struct {
+		blk *cfgBlock
+		idx int
+	}
+	var starts []point
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		if after := g.loopAfter[s]; after != nil {
+			starts = append(starts, point{after, 0})
+		}
+	case *ast.RangeStmt:
+		if after := g.loopAfter[s]; after != nil {
+			starts = append(starts, point{after, 0})
+		}
+	}
+	if starts == nil {
+		blk := g.blockFor(n)
+		if blk == nil {
+			return false
+		}
+		idx := len(blk.nodes)
+		for i, node := range blk.nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				idx = i + 1
+				break
+			}
+		}
+		starts = append(starts, point{blk, idx})
+	}
+	sorts := func(node ast.Node) bool { return nodeSortsVar(p, node, v) }
+	// DFS for a path that reaches exit without passing a sort of v.
+	visited := make(map[*cfgBlock]bool)
+	var escape func(pt point) bool
+	escape = func(pt point) bool {
+		for i := pt.idx; i < len(pt.blk.nodes); i++ {
+			if sorts(pt.blk.nodes[i]) {
+				return false // this path is fixed up
+			}
+		}
+		if pt.blk == g.exit || len(pt.blk.succs) == 0 {
+			return true // fell off the function unsorted
+		}
+		if pt.idx == 0 {
+			if visited[pt.blk] {
+				return false
+			}
+			visited[pt.blk] = true
+		}
+		for _, s := range pt.blk.succs {
+			if s == g.exit {
+				return true
+			}
+			if !visited[s] && escape(point{s, 0}) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pt := range starts {
+		if escape(pt) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeSortsVar reports whether the node contains a total-order sort
+// call whose first argument is v (nested function literals excluded).
+func nodeSortsVar(p *Package, node ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fnObj.Pkg() == nil {
+			return true
+		}
+		names := totalSortFuncs[fnObj.Pkg().Path()]
+		if names == nil || !names[fnObj.Name()] {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if u, ok := p.Info.Uses[id].(*types.Var); ok && u == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lockSets computes, per block, the set of mutex receivers that may be
+// held on entry: a forward union dataflow where Lock/RLock add the
+// receiver, Unlock/RUnlock remove it, and deferred unlocks do not
+// release along the path (they run at function exit). The union merge
+// is conservative — "may be held on some path in" — which is exactly
+// the right polarity for lock-across-park: parking under a
+// sometimes-held mutex is still a deadlock on that path.
+func (g *cfgGraph) lockSets(p *Package) map[*cfgBlock]map[string]bool {
+	in := make(map[*cfgBlock]map[string]bool, len(g.blocks))
+	for _, b := range g.blocks {
+		in[b] = make(map[string]bool)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.blocks {
+			out := copyLockSet(in[b])
+			applyLockOps(p, b, out, nil)
+			for _, s := range b.succs {
+				for k := range out {
+					if !in[s][k] {
+						in[s][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+func copyLockSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// lockEvent is one mutex operation or visit callback inside a block.
+type lockEvent struct {
+	call *ast.CallExpr
+	recv string // rendered receiver, e.g. "g.mu"
+	op   string // Lock, RLock, Unlock, RUnlock
+}
+
+// applyLockOps walks a block's nodes in order, updating the held set
+// and invoking visit (when non-nil) at every call expression with the
+// set as it stands at that point.
+func applyLockOps(p *Package, b *cfgBlock, held map[string]bool, visit func(call *ast.CallExpr, held map[string]bool)) {
+	for _, node := range b.nodes {
+		deferred := false
+		if _, ok := node.(*ast.DeferStmt); ok {
+			deferred = true
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ev, ok := mutexOp(p, call); ok {
+				if deferred {
+					return true // runs at exit, not here
+				}
+				switch ev.op {
+				case "Lock", "RLock":
+					held[lockKey(ev)] = true
+				case "Unlock":
+					delete(held, "Lock:"+ev.recv)
+				case "RUnlock":
+					delete(held, "RLock:"+ev.recv)
+				}
+				return true
+			}
+			if visit != nil {
+				visit(call, held)
+			}
+			return true
+		})
+	}
+}
+
+func lockKey(ev lockEvent) string { return ev.op + ":" + ev.recv }
+
+// heldNames renders a held set for a finding message: the receiver
+// expressions, sorted, without the Lock/RLock namespace prefix.
+func heldNames(held map[string]bool) []string {
+	var out []string
+	for k := range held {
+		if i := strings.Index(k, ":"); i >= 0 {
+			k = k[i+1:]
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutexOp classifies a call as a sync.Mutex / sync.RWMutex operation on
+// a rendered receiver. TryLock is deliberately excluded: its
+// acquisition is conditional on the return value, which this analysis
+// does not model.
+func mutexOp(p *Package, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockEvent{}, false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return lockEvent{}, false
+	}
+	return lockEvent{call: call, recv: exprText(sel.X), op: fn.Name()}, true
+}
+
+// exprText renders a simple receiver expression (identifiers, field
+// selections, parenthesized forms) for lock identity and messages.
+// Anything more exotic collapses to a positional placeholder so two
+// different complex receivers never alias.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprText(e.X)
+		}
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return fmt.Sprintf("<expr@%d>", e.Pos())
+}
+
+// dump renders the graph for the golden CFG-shape tests: one line per
+// block with its kind, node summaries (AST type @ line) and successor
+// indices. The format is deterministic.
+func (g *cfgGraph) dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.blocks {
+		fmt.Fprintf(&sb, "b%d %s:", b.index, b.kind)
+		for _, n := range b.nodes {
+			t := fmt.Sprintf("%T", n)
+			t = t[strings.LastIndex(t, ".")+1:]
+			fmt.Fprintf(&sb, " %s@%d", t, fset.Position(n.Pos()).Line)
+		}
+		sb.WriteString(" ->")
+		if len(b.succs) == 0 {
+			sb.WriteString(" (none)")
+		}
+		for _, s := range b.succs {
+			fmt.Fprintf(&sb, " b%d", s.index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

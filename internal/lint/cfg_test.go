@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestCFGGolden pins the builder's block and edge structure on the
+// canonical shapes: each golden is the dump of one cfgshapes fixture
+// function — blocks in construction order, the statement/expression
+// nodes they carry with source lines, and their successor edges. A
+// builder change that moves an edge shows up as a one-line diff here
+// before it shows up as a wrong lock-set or a missed back edge in the
+// rules.
+func TestCFGGolden(t *testing.T) {
+	_, cfg := fixtureLoader(t)
+	p := loadFixture(t, "cfgshapes", cfg.ModulePath+"/internal/fixture/cfgshapes")
+	graphs := make(map[string]*cfgGraph)
+	for _, fn := range packageFuncs(p) {
+		d, ok := fn.node.(*ast.FuncDecl)
+		if !ok || fn.body == nil {
+			continue
+		}
+		graphs[d.Name.Name] = buildCFG(p, fn)
+	}
+
+	tests := []struct {
+		name string
+		want string
+	}{
+		{
+			// Two-arm branch: both arms reach the merge, the merge
+			// returns through the (empty) function tail to exit.
+			name: "IfElse",
+			want: `b0 entry: AssignStmt@8 BinaryExpr@9 -> b1 b2
+b1 then: AssignStmt@10 -> b3
+b2 else: AssignStmt@12 -> b3
+b3 merge: ReturnStmt@14 -> b5
+b4 dead: -> b5
+b5 exit: -> (none)
+`,
+		},
+		{
+			// continue jumps to the post statement (b9), break to the
+			// loop-after (b10); the back edge is b9 -> b1.
+			name: "ForBreakContinue",
+			want: `b0 entry: AssignStmt@20 AssignStmt@21 -> b1
+b1 loop-head: BinaryExpr@21 -> b2 b10
+b2 loop-body: BinaryExpr@22 -> b3 b5
+b3 then: BranchStmt@23 -> b9
+b4 dead: -> b5
+b5 merge: BinaryExpr@25 -> b6 b8
+b6 then: BranchStmt@26 -> b10
+b7 dead: -> b8
+b8 merge: AssignStmt@28 -> b9
+b9 loop-post: IncDecStmt@21 -> b1
+b10 loop-after: ReturnStmt@30 -> b12
+b11 dead: -> b12
+b12 exit: -> (none)
+`,
+		},
+		{
+			// No default: the entry keeps a fall-through edge straight
+			// to the merge alongside the two case arms.
+			name: "Switch",
+			want: `b0 entry: AssignStmt@36 -> b1 b2 b3
+b1 case: BinaryExpr@38 AssignStmt@39 -> b3
+b2 case: BinaryExpr@40 AssignStmt@41 -> b3
+b3 merge: ReturnStmt@43 -> b5
+b4 dead: -> b5
+b5 exit: -> (none)
+`,
+		},
+		{
+			// Both returns are rewired through the defer block (b5),
+			// which re-lists the deferred call before exit.
+			name: "Defer",
+			want: `b0 entry: DeferStmt@49 Ident@50 -> b1 b3
+b1 then: ReturnStmt@51 -> b5
+b2 dead: -> b3
+b3 merge: ReturnStmt@53 -> b5
+b4 dead: -> b5
+b5 defer: CallExpr@49 -> b6
+b6 exit: -> (none)
+`,
+		},
+		{
+			// `continue outer` targets the outer range head (b2),
+			// `break outer` the outer loop-after (b13), across the
+			// inner loop's own head (b4) and after (b12).
+			name: "Labeled",
+			want: `b0 entry: AssignStmt@59 -> b1
+b1 label: -> b2
+b2 range-head: Ident@61 -> b3 b13
+b3 loop-body: -> b4
+b4 range-head: Ident@62 -> b5 b12
+b5 loop-body: BinaryExpr@63 -> b6 b8
+b6 then: BranchStmt@64 -> b2
+b7 dead: -> b8
+b8 merge: BinaryExpr@66 -> b9 b11
+b9 then: BranchStmt@67 -> b13
+b10 dead: -> b11
+b11 merge: AssignStmt@69 -> b4
+b12 loop-after: -> b2
+b13 loop-after: ReturnStmt@72 -> b15
+b14 dead: -> b15
+b15 exit: -> (none)
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := graphs[tt.name]
+			if g == nil {
+				t.Fatalf("no CFG built for fixture function %s", tt.name)
+			}
+			got := g.dump(p.Fset)
+			if got != tt.want {
+				t.Errorf("CFG dump for %s changed.\ngot:\n%s\nwant:\n%s", tt.name, got, tt.want)
+			}
+		})
+	}
+}

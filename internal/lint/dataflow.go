@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -230,44 +229,10 @@ var totalSortFuncs = map[string]map[string]bool{
 	"slices": {"Sort": true},
 }
 
-// sortedTotallyAfter reports whether the variable v is passed as the
-// first argument to a total-order sort call positioned after pos
-// inside the function body.
-func sortedTotallyAfter(p *Package, fn funcUnit, v *types.Var, pos token.Pos) bool {
-	if fn.body == nil {
-		return false
-	}
-	found := false
-	ast.Inspect(fn.body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() <= pos || len(call.Args) == 0 {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fnObj, ok := p.Info.Uses[sel.Sel].(*types.Func)
-		if !ok || fnObj.Pkg() == nil {
-			return true
-		}
-		names := totalSortFuncs[fnObj.Pkg().Path()]
-		if names == nil || !names[fnObj.Name()] {
-			return true
-		}
-		if id, ok := call.Args[0].(*ast.Ident); ok {
-			if u, ok := p.Info.Uses[id].(*types.Var); ok && u == v {
-				found = true
-				return false
-			}
-		}
-		return true
-	})
-	return found
-}
+// The positional sortedTotallyAfter check lived here through v3; the
+// CFG layer's sortedOnAllPaths (cfg.go) replaced it, turning "a sort
+// appears later in the source" into "every path to the function exit
+// passes a sort".
 
 // rankSourceNames are the method names whose results identify the
 // calling rank (or its role) on a communicator-like receiver.

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParseIgnore drives the suppression-comment parser with arbitrary
+// text after the //swlint:ignore prefix and checks the contract every
+// accepted comment must satisfy: at least one rule, no rule empty or
+// containing whitespace, and a non-blank reason. The parser is the
+// front door for untrusted source text, so a panic or an accepted
+// malformed comment here would poison the suppression census and the
+// unused-suppress bookkeeping.
+func FuzzParseIgnore(f *testing.F) {
+	for _, seed := range []string{
+		"float-eq -- tolerance is intentional here",
+		"float-eq,err-wrap -- both deliberate",
+		"no-wallclock--reason",
+		" -- reason only",
+		"rule1 rule2 -- two fields is malformed",
+		"float-eq --",
+		"float-eq",
+		"",
+		",, -- empty rules",
+		"a,b,c,d -- long comma list",
+		"float-eq -- reason -- with separator inside",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, rest string) {
+		rules, reason, ok := parseIgnore(rest)
+		if !ok {
+			if rules != nil || reason != "" {
+				t.Fatalf("parseIgnore(%q) rejected but returned rules=%v reason=%q", rest, rules, reason)
+			}
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("parseIgnore(%q) accepted with no rules", rest)
+		}
+		for _, r := range rules {
+			if r == "" {
+				t.Fatalf("parseIgnore(%q) returned an empty rule name", rest)
+			}
+			if strings.IndexFunc(r, unicode.IsSpace) >= 0 {
+				t.Fatalf("parseIgnore(%q) returned rule %q containing whitespace", rest, r)
+			}
+		}
+		if strings.TrimSpace(reason) != reason || reason == "" {
+			t.Fatalf("parseIgnore(%q) returned untrimmed or blank reason %q", rest, reason)
+		}
+	})
+}
+
+// FuzzParseBaseline drives the baseline JSON loader with arbitrary
+// bytes: whatever parses must satisfy the validation contract (every
+// entry complete, every reason non-blank) and survive a write/re-parse
+// round trip, so a hand-edited or corrupted .swlint-baseline.json can
+// never smuggle an unvalidated entry past CI.
+func FuzzParseBaseline(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte(`{"entries":[]}`),
+		[]byte(`{"entries":[{"rule":"float-eq","file":"a/b.go","message":"m","reason":"accepted debt"}]}`),
+		[]byte(`{"entries":[{"rule":"","file":"","message":""}]}`),
+		[]byte(`{"entries":[{"rule":"x","file":"y.go","message":"z","reason":"  "}]}`),
+		[]byte(`null`),
+		[]byte(`{}`),
+		[]byte(`[]`),
+		[]byte(`{"entries":null}`),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ParseBaseline(data)
+		if err != nil {
+			if b != nil {
+				t.Fatalf("ParseBaseline returned both a baseline and error %v", err)
+			}
+			return
+		}
+		if b == nil {
+			t.Fatal("ParseBaseline returned nil baseline without error")
+		}
+		for i, e := range b.Entries {
+			if e.Rule == "" || e.File == "" || e.Message == "" || strings.TrimSpace(e.Reason) == "" {
+				t.Fatalf("entry %d passed validation incomplete: %+v", i, e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatalf("re-encoding a valid baseline failed: %v", err)
+		}
+		b2, err := ParseBaseline(buf.Bytes())
+		if err != nil {
+			t.Fatalf("round trip failed to re-parse: %v", err)
+		}
+		if len(b2.Entries) != len(b.Entries) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(b2.Entries), len(b.Entries))
+		}
+	})
+}

@@ -97,6 +97,9 @@ type Config struct {
 	// DMAPackage hosts the transfer engine whose size arguments the
 	// ldm-provenance rule checks.
 	DMAPackage string
+	// SchedPackage hosts the discrete-event scheduler whose Task.Park
+	// protocol the lock-across-park and park-recheck rules enforce.
+	SchedPackage string
 	// Rules is the rule set to run. Empty means AllRules(cfg).
 	Rules []Rule
 }
@@ -134,6 +137,7 @@ func DefaultConfig(dir string) (Config, error) {
 		CommPackage:   module + "/internal/mpi",
 		VClockPackage: module + "/internal/vclock",
 		DMAPackage:    module + "/internal/dma",
+		SchedPackage:  module + "/internal/sched",
 		CapacityExempt: []string{
 			module + "/internal/ldm",
 			module + "/internal/machine",
@@ -146,9 +150,9 @@ func DefaultConfig(dir string) (Config, error) {
 }
 
 // AllRules returns the full rule set parameterized by cfg: the five
-// syntactic rules, the five dataflow rules backed by a shared
-// interprocedural summarizer, and the two pseudo-rules the suppression
-// machinery reports through.
+// syntactic rules, the eight semantic rules backed by a shared
+// interprocedural summarizer and the CFG layer, and the two
+// pseudo-rules the suppression machinery reports through.
 func AllRules(cfg Config) []Rule {
 	return allRules(cfg, NewSummarizer(cfg))
 }
@@ -165,8 +169,11 @@ func allRules(cfg Config, sums *Summarizer) []Rule {
 		LDMProvenanceRule{LDMPackage: cfg.LDMPackage, DMAPackage: cfg.DMAPackage, Exempt: cfg.CapacityExempt, Sums: sums},
 		MapOrderRule{SimPackages: cfg.SimPackages, VClockPackage: cfg.VClockPackage, CommPackage: cfg.CommPackage, Sums: sums},
 		CollectiveMatchRule{CommPackage: cfg.CommPackage, Sums: sums},
+		CollectiveOrderRule{CommPackage: cfg.CommPackage, Sums: sums},
 		GoroutinePurityRule{SimPackages: cfg.SimPackages, Sums: sums},
 		HotPathAllocRule{Sums: sums},
+		LockAcrossParkRule{CommPackage: cfg.CommPackage, VClockPackage: cfg.VClockPackage, SchedPackage: cfg.SchedPackage, Sums: sums},
+		ParkRecheckRule{SchedPackage: cfg.SchedPackage, Sums: sums},
 		metaRule{id: BadSuppressID, doc: "suppressions must name rules and carry a reason: //swlint:ignore <rule> -- <reason>"},
 		metaRule{id: UnusedSuppressID, doc: "suppressions that match no finding are stale and must be deleted"},
 	}
@@ -200,6 +207,14 @@ func Run(cfg Config, patterns []string) ([]Finding, error) {
 // stale ones — scoped to the rules actually run, so partial rule runs
 // do not misreport).
 func CheckPackage(rules []Rule, p *Package) []Finding {
+	out, _ := checkPackageWithSupp(rules, p)
+	return out
+}
+
+// checkPackageWithSupp is CheckPackage plus the package's per-rule
+// suppression census, which the driver aggregates for -stats and the
+// SARIF run properties.
+func checkPackageWithSupp(rules []Rule, p *Package) ([]Finding, map[string]int) {
 	sup := newSuppressions(p)
 	ran := make(map[string]bool, len(rules))
 	var out []Finding
@@ -213,7 +228,7 @@ func CheckPackage(rules []Rule, p *Package) []Finding {
 		}
 	}
 	out = append(out, sup.report(ran)...)
-	return out
+	return out, sup.counts()
 }
 
 func sortFindings(fs []Finding) {

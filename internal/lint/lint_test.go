@@ -168,6 +168,11 @@ func TestRuleFixtures(t *testing.T) {
 				{"map-order", "maporder.go", 40, "append to slice out"},
 				{"map-order", "maporder.go", 65, "channel send"},
 				{"map-order", "maporder.go", 86, "struct field total"},
+				// CondSort: the sort sits on only one path out of the
+				// branch; the v3 positional check ("a sort appears later
+				// in the source") blessed it, the CFG check does not.
+				// SortBothArms, sorting on every path, stays blessed.
+				{"map-order", "maporder.go", 96, "append to slice out"},
 			},
 		},
 		{
@@ -278,10 +283,13 @@ func TestDefaultConfig(t *testing.T) {
 			t.Errorf("SimPackages missing %s", sim)
 		}
 	}
-	if len(AllRules(cfg)) != 12 {
-		t.Errorf("AllRules returned %d rules, want 12", len(AllRules(cfg)))
+	if len(AllRules(cfg)) != 15 {
+		t.Errorf("AllRules returned %d rules, want 15", len(AllRules(cfg)))
 	}
 	if cfg.DMAPackage != "repro/internal/dma" {
 		t.Errorf("DMAPackage = %q", cfg.DMAPackage)
+	}
+	if cfg.SchedPackage != "repro/internal/sched" {
+		t.Errorf("SchedPackage = %q", cfg.SchedPackage)
 	}
 }

@@ -96,28 +96,29 @@ func (r CollectiveMatchRule) Check(p *Package) []Finding {
 			continue
 		}
 		g := newFlowGraph(p, fn)
-		out = append(out, r.checkBlock(p, g, fn.body.List, fn)...)
+		cg := buildCFG(p, fn)
+		out = append(out, r.checkBlock(p, g, cg, fn.body.List, fn)...)
 	}
 	return out
 }
 
 // checkBlock walks one statement list, descending into nested blocks,
 // and analyzes every rank-dependent branch point it finds.
-func (r CollectiveMatchRule) checkBlock(p *Package, g *flowGraph, stmts []ast.Stmt, fn funcUnit) []Finding {
+func (r CollectiveMatchRule) checkBlock(p *Package, g *flowGraph, cg *cfgGraph, stmts []ast.Stmt, fn funcUnit) []Finding {
 	var out []Finding
 	for i, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.IfStmt:
-			out = append(out, r.checkIf(p, g, s, stmts[i+1:], fn)...)
+			out = append(out, r.checkIf(p, g, cg, s, stmts[i+1:], fn)...)
 		case *ast.SwitchStmt:
 			if s.Tag == nil {
 				out = append(out, r.checkSwitch(p, g, s)...)
 			} else {
-				out = append(out, r.descend(p, g, s, fn)...)
+				out = append(out, r.descend(p, g, cg, s, fn)...)
 			}
 			continue
 		default:
-			out = append(out, r.descend(p, g, stmt, fn)...)
+			out = append(out, r.descend(p, g, cg, stmt, fn)...)
 		}
 	}
 	return out
@@ -126,7 +127,7 @@ func (r CollectiveMatchRule) checkBlock(p *Package, g *flowGraph, stmts []ast.St
 // descend recurses into the nested blocks of a non-branch statement
 // (loops, blocks, function literals are excluded — literals are their
 // own funcUnits).
-func (r CollectiveMatchRule) descend(p *Package, g *flowGraph, stmt ast.Stmt, fn funcUnit) []Finding {
+func (r CollectiveMatchRule) descend(p *Package, g *flowGraph, cg *cfgGraph, stmt ast.Stmt, fn funcUnit) []Finding {
 	var out []Finding
 	ast.Inspect(stmt, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -135,7 +136,7 @@ func (r CollectiveMatchRule) descend(p *Package, g *flowGraph, stmt ast.Stmt, fn
 		case *ast.BlockStmt:
 			// Only descend into blocks that are loop/select bodies etc.;
 			// if-statements inside are handled by checkBlock.
-			out = append(out, r.checkBlock(p, g, n.List, fn)...)
+			out = append(out, r.checkBlock(p, g, cg, n.List, fn)...)
 			return false
 		}
 		return true
@@ -146,17 +147,17 @@ func (r CollectiveMatchRule) descend(p *Package, g *flowGraph, stmt ast.Stmt, fn
 // checkIf analyzes one if statement. rest is the statement tail after
 // the if in the enclosing block, consulted when the rank-dependent arm
 // terminates.
-func (r CollectiveMatchRule) checkIf(p *Package, g *flowGraph, s *ast.IfStmt, rest []ast.Stmt, fn funcUnit) []Finding {
+func (r CollectiveMatchRule) checkIf(p *Package, g *flowGraph, cg *cfgGraph, s *ast.IfStmt, rest []ast.Stmt, fn funcUnit) []Finding {
 	var out []Finding
 	if !rankDependent(p, g, s.Cond, r.rankOracle(p)) {
 		// Not a rank branch: analyze both arms as plain blocks.
-		out = append(out, r.checkBlock(p, g, s.Body.List, fn)...)
+		out = append(out, r.checkBlock(p, g, cg, s.Body.List, fn)...)
 		if s.Else != nil {
 			switch e := s.Else.(type) {
 			case *ast.BlockStmt:
-				out = append(out, r.checkBlock(p, g, e.List, fn)...)
+				out = append(out, r.checkBlock(p, g, cg, e.List, fn)...)
 			case *ast.IfStmt:
-				out = append(out, r.checkIf(p, g, e, rest, fn)...)
+				out = append(out, r.checkIf(p, g, cg, e, rest, fn)...)
 			}
 		}
 		return out
@@ -174,10 +175,22 @@ func (r CollectiveMatchRule) checkIf(p *Package, g *flowGraph, s *ast.IfStmt, re
 
 	if s.Else == nil && terminates(s.Body) {
 		// Early-exit guard: `if rank != 0 { ...; return }` makes the
-		// remainder of the block the other arm.
+		// rest of the function the other arm. The tail is a CFG fact —
+		// every node reachable from the if's merge point, the branch's
+		// own arm excluded — so collectives after the enclosing block
+		// (which the v3 lexical tail could not see) participate in
+		// matching.
 		var tail []commCall
-		for _, st := range rest {
-			tail = append(tail, r.collectCalls(p, st)...)
+		if merge := cg.ifMerge[s]; merge != nil {
+			for _, n := range cg.reachableNodes(merge, s) {
+				tail = append(tail, r.collectCalls(p, n)...)
+			}
+		} else {
+			// Fallback (if inside a nested function literal whose graph
+			// this is not): the lexical tail.
+			for _, st := range rest {
+				tail = append(tail, r.collectCalls(p, st)...)
+			}
 		}
 		out = append(out, unmatched(p, r.ID(), thenCalls, tail, "the code after this early-exit branch")...)
 		out = append(out, unmatched(p, r.ID(), tail, thenCalls, "the early-exit branch above")...)
@@ -245,6 +258,14 @@ func (r CollectiveMatchRule) checkSwitch(p *Package, g *flowGraph, s *ast.Switch
 // summaries enabled, a call to a helper that transitively enters a
 // collective contributes that collective at the call site.
 func (r CollectiveMatchRule) collectCalls(p *Package, n ast.Node) []commCall {
+	return collectCommCalls(p, n, r.CommPackage, r.Sums)
+}
+
+// collectCommCalls is the shared collector behind collective-match and
+// collective-order: every tracked Comm call under n, in source order,
+// with summary-propagated collectives contributed at the helper call
+// site.
+func collectCommCalls(p *Package, n ast.Node, commPkg string, sums *Summarizer) []commCall {
 	var out []commCall
 	ast.Inspect(n, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -255,13 +276,13 @@ func (r CollectiveMatchRule) collectCalls(p *Package, n ast.Node) []commCall {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if key, tracked := collectiveOps[sel.Sel.Name]; tracked && receiverNamed(p, call, r.CommPackage, "Comm") {
+			if key, tracked := collectiveOps[sel.Sel.Name]; tracked && receiverNamed(p, call, commPkg, "Comm") {
 				out = append(out, commCall{call: call, name: sel.Sel.Name, key: key})
 				return true
 			}
 		}
-		if r.Sums != nil {
-			if sum := r.Sums.ForCall(p, call); sum != nil {
+		if sums != nil {
+			if sum := sums.ForCall(p, call); sum != nil {
 				for _, c := range sum.Collectives {
 					out = append(out, commCall{call: call, name: c.Name, key: c.Key, via: mergeChain(sum.Name, c.Chain)})
 				}

@@ -1,0 +1,571 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CollectiveOrderRule upgrades collective-match from presence checking
+// to order checking. In the paper's bulk-synchronous execution model a
+// collective is a contract every rank enters in the same global
+// sequence; two rank-conditional arms that issue the *same multiset*
+// of collectives in a *different order* —
+//
+//	if comm.Rank() == 0 {
+//		comm.Bcast(...)
+//		comm.Barrier()
+//	} else {
+//		comm.Barrier()
+//		comm.Bcast(...)
+//	}
+//
+// — deadlock pairwise inside the first divergent operation, yet are
+// invisible to collective-match, whose matching is a multiset fact.
+// This rule is the path-sensitive complement: for each rank-dependent
+// branch point it enumerates the per-arm *sequences* of tracked calls
+// (bounded structural path enumeration: inner branches fork, loops
+// contribute their flattened body once, returns end a path) and fires
+// exactly when the flat multisets agree but the sequence sets do not.
+// Presence mismatches stay collective-match's findings; this rule is
+// silent on them so each bug has one owner.
+//
+// Blessed patterns the sequence comparison accepts by construction:
+// Send and Recv normalize to one p2p key, so the root's recv loop
+// against the leaves' single send is order-clean; helper-wrapped
+// collectives compare by their summary sequence, so hoisting an arm
+// into a helper changes nothing; idiomatic error guards
+// (`if err != nil { return err }`) are straight-line, not forks, so an
+// inline arm never diverges from its helper-wrapped sibling over error
+// plumbing; and arms whose multisets differ are out of scope here.
+type CollectiveOrderRule struct {
+	// CommPackage is the communicator's import path; its own
+	// implementation is rank-conditional by construction and exempt.
+	CommPackage string
+	// Sums, when non-nil, contributes helper collectives (in summary
+	// order) at the call site and extends rank dependence through
+	// helper returns.
+	Sums *Summarizer
+}
+
+// ID implements Rule.
+func (CollectiveOrderRule) ID() string { return "collective-order" }
+
+// Doc implements Rule.
+func (CollectiveOrderRule) Doc() string {
+	return "rank-conditional arms issuing the same collectives must issue them in the same order"
+}
+
+func (r CollectiveOrderRule) rankOracle(p *Package) func(*ast.CallExpr) (bool, []int) {
+	if r.Sums == nil {
+		return nil
+	}
+	return r.Sums.RankTaint(p)
+}
+
+// Check implements Rule.
+func (r CollectiveOrderRule) Check(p *Package) []Finding {
+	if p.Path == r.CommPackage {
+		return nil
+	}
+	var out []Finding
+	for _, fn := range packageFuncs(p) {
+		if fn.body == nil {
+			continue
+		}
+		g := newFlowGraph(p, fn)
+		out = append(out, r.checkBlock(p, g, fn.body.List)...)
+	}
+	return out
+}
+
+// checkBlock walks one statement list and analyzes every
+// rank-dependent branch point, mirroring collective-match's walk.
+func (r CollectiveOrderRule) checkBlock(p *Package, g *flowGraph, stmts []ast.Stmt) []Finding {
+	var out []Finding
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			out = append(out, r.checkIf(p, g, s, stmts[i+1:])...)
+		case *ast.SwitchStmt:
+			if s.Tag == nil {
+				out = append(out, r.checkSwitch(p, g, s)...)
+			}
+			out = append(out, r.descend(p, g, s)...)
+		default:
+			out = append(out, r.descend(p, g, stmt)...)
+		}
+	}
+	return out
+}
+
+// descend recurses into nested blocks of a non-branch statement.
+func (r CollectiveOrderRule) descend(p *Package, g *flowGraph, stmt ast.Stmt) []Finding {
+	var out []Finding
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			out = append(out, r.checkBlock(p, g, n.List)...)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// checkIf analyzes one if statement; rest is the statement tail of the
+// enclosing block, the implicit sibling arm when the rank-dependent
+// body terminates early.
+func (r CollectiveOrderRule) checkIf(p *Package, g *flowGraph, s *ast.IfStmt, rest []ast.Stmt) []Finding {
+	var out []Finding
+	if !rankDependent(p, g, s.Cond, r.rankOracle(p)) {
+		out = append(out, r.checkBlock(p, g, s.Body.List)...)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				out = append(out, r.checkBlock(p, g, e.List)...)
+			case *ast.IfStmt:
+				out = append(out, r.checkIf(p, g, e, rest)...)
+			}
+		}
+		return out
+	}
+
+	// Nested branch points inside the arms are their own analyses.
+	out = append(out, r.checkBlock(p, g, s.Body.List)...)
+
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		out = append(out, r.checkBlock(p, g, e.List)...)
+		out = append(out, r.compareArms(p, s.Body.List, e.List, "the else arm")...)
+	case *ast.IfStmt:
+		out = append(out, r.checkIf(p, g, e, rest)...)
+		out = append(out, r.compareArms(p, s.Body.List, []ast.Stmt{e}, "the else-if chain")...)
+	default:
+		if terminates(s.Body) {
+			// Early-exit guard: the code after the if is the arm the
+			// other ranks run.
+			out = append(out, r.compareArms(p, s.Body.List, rest, "the code after this early-exit branch")...)
+		}
+		// A non-terminating then-arm with no else is a presence
+		// question (extra calls on one side), owned by collective-match.
+	}
+	return out
+}
+
+// checkSwitch compares every pair of case bodies of a rank-dependent
+// expression-less switch.
+func (r CollectiveOrderRule) checkSwitch(p *Package, g *flowGraph, s *ast.SwitchStmt) []Finding {
+	type armInfo struct {
+		body []ast.Stmt
+	}
+	var arms []armInfo
+	anyRank := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, cond := range cc.List {
+			if rankDependent(p, g, cond, r.rankOracle(p)) {
+				anyRank = true
+				break
+			}
+		}
+		arms = append(arms, armInfo{body: cc.Body})
+	}
+	if !anyRank {
+		return nil
+	}
+	var out []Finding
+	for i := 0; i < len(arms); i++ {
+		for j := i + 1; j < len(arms); j++ {
+			out = append(out, r.compareArms(p, arms[i].body, arms[j].body, "a sibling case")...)
+		}
+	}
+	return out
+}
+
+// compareArms fires when two arms issue the same multiset of tracked
+// calls in provably different orders. Position is the first tracked
+// call of the first arm — the earliest point a rank commits to the
+// divergent order.
+func (r CollectiveOrderRule) compareArms(p *Package, armA, armB []ast.Stmt, siblingName string) []Finding {
+	flatA := collectStmtsCalls(p, armA, r.CommPackage, r.Sums)
+	flatB := collectStmtsCalls(p, armB, r.CommPackage, r.Sums)
+	if len(flatA) == 0 || len(flatB) == 0 {
+		return nil
+	}
+	if !sameKeyMultiset(flatA, flatB) {
+		return nil // presence mismatch: collective-match's finding
+	}
+	b := &seqBuilder{p: p, commPkg: r.CommPackage, sums: r.Sums}
+	seqsA := b.armSeqs(armA)
+	seqsB := b.armSeqs(armB)
+	if b.overflow {
+		// Path explosion: compare the flat sequences only.
+		seqsA = []string{joinKeys(flatA)}
+		seqsB = []string{joinKeys(flatB)}
+	}
+	if sameStringSets(seqsA, seqsB) {
+		return nil
+	}
+	repA := firstNotIn(seqsA, seqsB)
+	repB := firstNotIn(seqsB, seqsA)
+	if repA == "" {
+		repA = seqsA[0]
+	}
+	if repB == "" {
+		repB = seqsB[0]
+	}
+	first := flatA[0]
+	reached := ""
+	if first.via != "" {
+		reached = " (first collective reached via " + first.via + ")"
+	}
+	return []Finding{{
+		RuleID: r.ID(),
+		Pos:    p.Fset.Position(first.call.Pos()),
+		Message: "rank-divergent collective order" + reached + ": this arm may enter [" + repA + "] while " +
+			siblingName + " enters [" + repB + "]; same operations, different order — ranks deadlock pairwise inside the first divergent collective",
+	}}
+}
+
+// collectStmtsCalls flattens the tracked calls of a statement list in
+// source order.
+func collectStmtsCalls(p *Package, stmts []ast.Stmt, commPkg string, sums *Summarizer) []commCall {
+	var out []commCall
+	for _, st := range stmts {
+		out = append(out, collectCommCalls(p, st, commPkg, sums)...)
+	}
+	return out
+}
+
+func sameKeyMultiset(a, b []commCall) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int)
+	for _, c := range a {
+		counts[c.key]++
+	}
+	for _, c := range b {
+		counts[c.key]--
+		if counts[c.key] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func joinKeys(calls []commCall) string {
+	keys := make([]string, len(calls))
+	for i, c := range calls {
+		keys[i] = c.key
+	}
+	return strings.Join(keys, " → ")
+}
+
+func sameStringSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func firstNotIn(a, b []string) string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	for _, s := range a {
+		if !in[s] {
+			return s
+		}
+	}
+	return ""
+}
+
+// seqBuilder enumerates the per-path collective sequences of an arm by
+// structure: inner if/switch statements fork alternative suffixes,
+// loops contribute their flattened body exactly once, return/panic and
+// break/continue end the path. Enumeration is bounded (maxSeqPaths
+// alternatives, maxSeqLen calls per path); on overflow the caller
+// falls back to flat-sequence comparison.
+type seqBuilder struct {
+	p        *Package
+	commPkg  string
+	sums     *Summarizer
+	overflow bool
+}
+
+const (
+	maxSeqPaths = 64
+	maxSeqLen   = 32
+)
+
+// armSeqs returns the canonical (sorted, deduplicated) set of
+// sequences for one arm, each rendered "key → key → …" ("∅" for the
+// empty sequence).
+func (b *seqBuilder) armSeqs(stmts []ast.Stmt) []string {
+	active, finished := b.block(stmts)
+	set := make(map[string]bool)
+	for _, s := range append(active, finished...) {
+		set[renderSeq(s)] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func renderSeq(keys []string) string {
+	if len(keys) == 0 {
+		return "∅"
+	}
+	return strings.Join(keys, " → ")
+}
+
+// block runs the statement list over a set of active path prefixes.
+// finished paths left the list early (return, panic, break, continue).
+func (b *seqBuilder) block(list []ast.Stmt) (active, finished [][]string) {
+	active = [][]string{{}}
+	for _, st := range list {
+		if b.overflow {
+			return
+		}
+		switch s := st.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil {
+				active = b.crossSeg(active, b.segment(s.Init))
+			}
+			active = b.crossSeg(active, b.segment(s.Cond))
+			if b.errGuard(s) {
+				// Idiomatic error guard (`if err != nil { return err }`
+				// after a collective): the error path aborts the whole
+				// protocol, and forking on it would make every inline
+				// arm diverge from a helper-wrapped sibling whose
+				// summary sequence is necessarily flat. Straight-line.
+				continue
+			}
+			tAct, tFin := b.block(s.Body.List)
+			var eAct, eFin [][]string
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				eAct, eFin = b.block(e.List)
+			case *ast.IfStmt:
+				eAct, eFin = b.block([]ast.Stmt{e})
+			default:
+				eAct = [][]string{{}}
+			}
+			cur := active
+			finished = append(finished, b.crossAll(cur, tFin)...)
+			finished = append(finished, b.crossAll(cur, eFin)...)
+			active = b.dedup(append(b.crossAll(cur, tAct), b.crossAll(cur, eAct)...))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var clauses []*ast.CaseClause
+			hasDefault := false
+			var body *ast.BlockStmt
+			var head []ast.Node
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body = sw.Body
+				if sw.Init != nil {
+					head = append(head, sw.Init)
+				}
+				if sw.Tag != nil {
+					head = append(head, sw.Tag)
+				}
+			} else {
+				ts := s.(*ast.TypeSwitchStmt)
+				body = ts.Body
+				if ts.Init != nil {
+					head = append(head, ts.Init)
+				}
+				head = append(head, ts.Assign)
+			}
+			for _, h := range head {
+				active = b.crossSeg(active, b.segment(h))
+			}
+			for _, c := range body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					clauses = append(clauses, cc)
+					if cc.List == nil {
+						hasDefault = true
+					}
+				}
+			}
+			cur := active
+			var alts [][]string
+			for _, cc := range clauses {
+				aAct, aFin := b.block(cc.Body)
+				finished = append(finished, b.crossAll(cur, aFin)...)
+				alts = append(alts, aAct...)
+			}
+			if !hasDefault {
+				alts = append(alts, []string{})
+			}
+			active = b.dedup(b.crossAll(cur, alts))
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			// Loops and selects contribute their flattened body once;
+			// iteration-count path splitting is collectively owned by
+			// the runtime checks, not this enumeration.
+			active = b.crossSeg(active, b.segment(st))
+		case *ast.ReturnStmt:
+			active = b.crossSeg(active, b.segment(st))
+			finished = append(finished, active...)
+			active = nil
+		case *ast.BranchStmt:
+			finished = append(finished, active...)
+			active = nil
+		case *ast.BlockStmt:
+			aAct, aFin := b.block(s.List)
+			cur := active
+			finished = append(finished, b.crossAll(cur, aFin)...)
+			active = b.dedup(b.crossAll(cur, aAct))
+		default:
+			if terminatingStmt(st) {
+				active = b.crossSeg(active, b.segment(st))
+				finished = append(finished, active...)
+				active = nil
+				continue
+			}
+			active = b.crossSeg(active, b.segment(st))
+		}
+	}
+	return active, finished
+}
+
+// errGuard reports whether s is an idiomatic error guard: an else-less
+// if on an error-nil comparison whose body always leaves the function
+// and issues no tracked calls of its own. Such guards are blessed as
+// straight-line rather than forked — see the comment at the use site.
+func (b *seqBuilder) errGuard(s *ast.IfStmt) bool {
+	if s.Else != nil || !terminates(s.Body) {
+		return false
+	}
+	if len(collectStmtsCalls(b.p, s.Body.List, b.commPkg, b.sums)) != 0 {
+		return false
+	}
+	return errNilCond(b.p, s.Cond)
+}
+
+// errNilCond reports whether cond compares an error-typed operand
+// against nil.
+func errNilCond(p *Package, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var other ast.Expr
+	switch {
+	case isNil(be.X):
+		other = be.Y
+	case isNil(be.Y):
+		other = be.X
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[other]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType)
+}
+
+// terminatingStmt reports whether a plain statement never falls
+// through: a panic call.
+func terminatingStmt(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// segment flattens the tracked-call keys under one node in source
+// order.
+func (b *seqBuilder) segment(n ast.Node) []string {
+	calls := collectCommCalls(b.p, n, b.commPkg, b.sums)
+	keys := make([]string, len(calls))
+	for i, c := range calls {
+		keys[i] = c.key
+	}
+	return keys
+}
+
+// crossSeg appends one segment to every active path.
+func (b *seqBuilder) crossSeg(active [][]string, seg []string) [][]string {
+	if len(seg) == 0 || len(active) == 0 {
+		return active
+	}
+	out := make([][]string, 0, len(active))
+	for _, a := range active {
+		n := append(append([]string{}, a...), seg...)
+		if len(n) > maxSeqLen {
+			b.overflow = true
+			return active
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// crossAll concatenates every prefix with every alternative suffix.
+func (b *seqBuilder) crossAll(prefixes, suffixes [][]string) [][]string {
+	var out [][]string
+	for _, pre := range prefixes {
+		for _, suf := range suffixes {
+			n := append(append([]string{}, pre...), suf...)
+			if len(n) > maxSeqLen {
+				b.overflow = true
+				return out
+			}
+			out = append(out, n)
+			if len(out) > maxSeqPaths {
+				b.overflow = true
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// dedup collapses identical paths, keeping enumeration bounded across
+// chains of independent branches.
+func (b *seqBuilder) dedup(paths [][]string) [][]string {
+	seen := make(map[string]bool, len(paths))
+	out := paths[:0]
+	for _, p := range paths {
+		k := strings.Join(p, "\x00")
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	if len(out) > maxSeqPaths {
+		b.overflow = true
+	}
+	return out
+}

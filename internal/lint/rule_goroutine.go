@@ -61,6 +61,13 @@ func (r GoroutinePurityRule) Check(p *Package) []Finding {
 		}
 		g := newFlowGraph(p, fn)
 		fnScope := fn
+		var cg *cfgGraph // built on first fan-in site
+		cfgOf := func() *cfgGraph {
+			if cg == nil {
+				cg = buildCFG(p, fnScope)
+			}
+			return cg
+		}
 		ast.Inspect(fn.body, func(n ast.Node) bool {
 			if _, ok := n.(*ast.FuncLit); ok && n != fnScope.node {
 				return false
@@ -77,12 +84,12 @@ func (r GoroutinePurityRule) Check(p *Package) []Finding {
 				})
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
-					out = append(out, r.checkFanIn(p, g, fnScope, n)...)
+					out = append(out, r.checkFanIn(p, g, fnScope, cfgOf(), n)...)
 				}
 			case *ast.RangeStmt:
 				if t := p.Info.TypeOf(n.X); t != nil {
 					if _, isChan := t.Underlying().(*types.Chan); isChan {
-						out = append(out, r.checkRangeFanIn(p, fnScope, n)...)
+						out = append(out, r.checkRangeFanIn(p, fnScope, cfgOf(), n)...)
 					}
 				}
 			}
@@ -229,7 +236,7 @@ func (r GoroutinePurityRule) checkImpureCall(p *Package, call *ast.CallExpr) []F
 // checkFanIn flags `v := <-ch` receives whose value is appended to a
 // slice that is never totally sorted — nondeterministic merge order.
 // Receives whose value is discarded (pure tokens) are fine.
-func (r GoroutinePurityRule) checkFanIn(p *Package, g *flowGraph, fn funcUnit, recv *ast.UnaryExpr) []Finding {
+func (r GoroutinePurityRule) checkFanIn(p *Package, g *flowGraph, fn funcUnit, cg *cfgGraph, recv *ast.UnaryExpr) []Finding {
 	// Find an append whose argument derives from this receive.
 	var out []Finding
 	ast.Inspect(fn.body, func(n ast.Node) bool {
@@ -252,7 +259,7 @@ func (r GoroutinePurityRule) checkFanIn(p *Package, g *flowGraph, fn funcUnit, r
 					fromRecv = true
 				}
 			}
-			if !fromRecv || sortedTotallyAfter(p, fn, v, as.End()) {
+			if !fromRecv || cg.sortedOnAllPaths(p, v, as) {
 				continue
 			}
 			out = append(out, Finding{
@@ -269,7 +276,7 @@ func (r GoroutinePurityRule) checkFanIn(p *Package, g *flowGraph, fn funcUnit, r
 
 // checkRangeFanIn applies the same merge discipline to `for v := range
 // ch` collection loops.
-func (r GoroutinePurityRule) checkRangeFanIn(p *Package, fn funcUnit, rng *ast.RangeStmt) []Finding {
+func (r GoroutinePurityRule) checkRangeFanIn(p *Package, fn funcUnit, cg *cfgGraph, rng *ast.RangeStmt) []Finding {
 	if rng.Key == nil {
 		return nil
 	}
@@ -288,7 +295,7 @@ func (r GoroutinePurityRule) checkRangeFanIn(p *Package, fn funcUnit, rng *ast.R
 				break
 			}
 			v := appendTarget(p, as.Lhs[i], rhs)
-			if v == nil || sortedTotallyAfter(p, fn, v, rng.End()) {
+			if v == nil || cg.sortedOnAllPaths(p, v, rng) {
 				continue
 			}
 			out = append(out, Finding{

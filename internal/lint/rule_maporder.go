@@ -75,6 +75,7 @@ func (r MapOrderRule) Check(p *Package) []Finding {
 		}
 		g := newFlowGraph(p, fn)
 		fnScope := fn
+		var cg *cfgGraph // built on first order-sensitive loop
 		ast.Inspect(fn.body, func(n ast.Node) bool {
 			if _, ok := n.(*ast.FuncLit); ok && n != fnScope.node {
 				return false // literals are their own funcUnits
@@ -99,7 +100,10 @@ func (r MapOrderRule) Check(p *Package) []Finding {
 			if len(effects) == 0 {
 				return true
 			}
-			if allSortedCollections(p, fnScope, rng, effects) {
+			if cg == nil {
+				cg = buildCFG(p, fnScope)
+			}
+			if allSortedCollections(p, cg, rng, effects) {
 				return true
 			}
 			f := Finding{
@@ -258,10 +262,14 @@ func isRangeVarUse(p *Package, e ast.Expr, rng *ast.RangeStmt) bool {
 }
 
 // allSortedCollections reports whether every effect is an append to a
-// local slice that a total-order sort fixes up after the loop.
-func allSortedCollections(p *Package, fn funcUnit, rng *ast.RangeStmt, effects []mapEffect) bool {
+// local slice that a total-order sort fixes up on every path out of
+// the loop. The CFG fact replaces the v3 positional check: a sort
+// behind a condition no longer blesses the loop (some path escapes
+// unsorted), while a sort reached only via an enclosing loop's back
+// edge now does.
+func allSortedCollections(p *Package, g *cfgGraph, rng *ast.RangeStmt, effects []mapEffect) bool {
 	for _, e := range effects {
-		if e.appendTo == nil || !sortedTotallyAfter(p, fn, e.appendTo, rng.End()) {
+		if e.appendTo == nil || !g.sortedOnAllPaths(p, e.appendTo, rng) {
 			return false
 		}
 	}

@@ -26,8 +26,16 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool       sarifTool      `json:"tool"`
+	Results    []sarifResult  `json:"results"`
+	Properties *sarifRunProps `json:"properties,omitempty"`
+}
+
+// sarifRunProps is the run-level property bag. suppressions carries
+// the per-rule //swlint:ignore counts of the run, so code scanning
+// dashboards see the tolerated-debt surface alongside the findings.
+type sarifRunProps struct {
+	Suppressions map[string]int `json:"suppressions"`
 }
 
 type sarifTool struct {
@@ -80,13 +88,15 @@ type sarifRegion struct {
 // ToolVersion identifies the analyzer in SARIF output and keys the
 // result cache; bump it whenever rule behavior changes so stale cache
 // entries and code-scanning alert identities roll over together.
-const ToolVersion = "3.0.0"
+const ToolVersion = "4.0.0"
 
 // WriteSARIF writes the findings as a SARIF 2.1.0 document. The rule
 // table lists every rule of the run (findings or not), so code
 // scanning can show rule metadata for closed alerts too. File URIs are
-// slash-separated paths relative to the module root.
-func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, moduleRoot string) error {
+// slash-separated paths relative to the module root. suppressions,
+// when non-nil, is the run's per-rule //swlint:ignore census, emitted
+// into the run property bag.
+func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, moduleRoot string, suppressions map[string]int) error {
 	ruleIndex := make(map[string]int, len(rules))
 	table := make([]sarifRule, 0, len(rules))
 	for _, r := range rules {
@@ -121,6 +131,10 @@ func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, moduleRoot string
 			}},
 		})
 	}
+	var props *sarifRunProps
+	if len(suppressions) > 0 {
+		props = &sarifRunProps{Suppressions: suppressions}
+	}
 	doc := sarifLog{
 		Schema:  sarifSchema,
 		Version: sarifVersion,
@@ -131,7 +145,8 @@ func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, moduleRoot string
 				Version:        ToolVersion,
 				Rules:          table,
 			}},
-			Results: results,
+			Results:    results,
+			Properties: props,
 		}},
 	}
 	enc := json.NewEncoder(w)

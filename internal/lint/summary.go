@@ -86,6 +86,17 @@ type FuncSummary struct {
 	Effects []EffectUse `json:"effects,omitempty"`
 	// Allocs lists allocation behavior for hot-path-alloc.
 	Allocs []EffectUse `json:"allocs,omitempty"`
+	// Blocks lists the scheduler blocking points the function
+	// transitively reaches outside the communicator: Task.Park and
+	// Group.Sync (blocking collectives are already in Collectives).
+	// The lock-across-park rule consults it at call sites.
+	Blocks []EffectUse `json:"blocks,omitempty"`
+	// ParksUnchecked lists Task.Park sites the function reaches with no
+	// re-check loop of its own around them — the obligation to re-check
+	// the guard transfers to the caller (rule park-recheck). A helper
+	// that parks inside its own loop discharges the obligation and does
+	// not propagate it.
+	ParksUnchecked []EffectUse `json:"parks_unchecked,omitempty"`
 
 	// RankReturn marks a function whose (basic-typed) return value
 	// derives from the calling rank.
@@ -133,6 +144,7 @@ type Summarizer struct {
 	vclockPkg    string
 	ldmPkg       string
 	dmaPkg       string
+	schedPkg     string
 	cacheDir     string
 
 	loaderOnce sync.Once
@@ -159,6 +171,7 @@ func NewSummarizer(cfg Config) *Summarizer {
 		vclockPkg: cfg.VClockPackage,
 		ldmPkg:    cfg.LDMPackage,
 		dmaPkg:    cfg.DMAPackage,
+		schedPkg:  cfg.SchedPackage,
 		hasher:    newDepHasher(cfg.ModuleRoot, cfg.ModulePath),
 		paths:     make(map[string]*sumEntry),
 		pkgs:      make(map[*Package]map[*types.Func]*FuncSummary),
@@ -192,9 +205,10 @@ func (s *Summarizer) lookupCallee(p *Package, call *ast.CallExpr, local map[*typ
 		return nil
 	}
 	path := fn.Pkg().Path()
-	if path == s.commPkg || path == s.vclockPkg {
-		// Substrate methods (Comm, Clock) are what the rules detect
-		// directly; their implementations are out of summary scope.
+	if path == s.commPkg || path == s.vclockPkg || path == s.schedPkg {
+		// Substrate methods (Comm, Clock, Task/Sim) are what the rules
+		// detect directly; their implementations are out of summary
+		// scope.
 		return nil
 	}
 	if fn.Pkg() == p.Pkg {
@@ -320,6 +334,30 @@ func (s *Summarizer) summarizeFunc(p *Package, fn *types.Func, unit funcUnit, lo
 	seenSW := make(map[string]bool)
 	seenEff := make(map[string]bool)
 	seenAlloc := make(map[string]bool)
+	seenBlk := make(map[string]bool)
+	seenPark := make(map[string]bool)
+
+	// Lexical loop spans: a park inside one of them re-executes with
+	// the enclosing guard, so the re-check obligation is discharged in
+	// this function and does not propagate to callers.
+	var loopSpans [][2]token.Pos
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{l.Body.Pos(), l.Body.End()})
+		case *ast.RangeStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{l.Body.Pos(), l.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, span := range loopSpans {
+			if pos >= span[0] && pos < span[1] {
+				return true
+			}
+		}
+		return false
+	}
 	addCol := func(key, name, chain string) {
 		k := key + "\x00" + name
 		if seenCol[k] || len(out.Collectives) >= maxSummaryEntries {
@@ -404,6 +442,21 @@ func (s *Summarizer) summarizeFunc(p *Package, fn *types.Func, unit funcUnit, lo
 				add(&out.Effects, seenEff, "advances the virtual clock", "")
 				return true
 			}
+			if s.schedPkg != "" && receiverNamed(p, n, s.schedPkg, "Task") {
+				if n.Fun.(*ast.SelectorExpr).Sel.Name == "Park" {
+					add(&out.Blocks, seenBlk, "Task.Park", "")
+					if !inLoop(n.Pos()) {
+						add(&out.ParksUnchecked, seenPark, "Task.Park", "")
+					}
+				}
+				return true
+			}
+			if s.vclockPkg != "" && receiverNamed(p, n, s.vclockPkg, "Group") {
+				if n.Fun.(*ast.SelectorExpr).Sel.Name == "Sync" {
+					add(&out.Blocks, seenBlk, "Group.Sync", "")
+				}
+				return true
+			}
 			if callee := calleeFunc(p, n); callee != nil && callee.Pkg() != nil &&
 				callee.Pkg().Path() == s.ldmPkg && strings.HasPrefix(callee.Name(), "Check") {
 				out.ChecksLDM = true
@@ -421,6 +474,14 @@ func (s *Summarizer) summarizeFunc(p *Package, fn *types.Func, unit funcUnit, lo
 				}
 				for _, e := range sum.Allocs {
 					add(&out.Allocs, seenAlloc, e.Detail, mergeChain(sum.Name, e.Chain))
+				}
+				for _, e := range sum.Blocks {
+					add(&out.Blocks, seenBlk, e.Detail, mergeChain(sum.Name, e.Chain))
+				}
+				if !inLoop(n.Pos()) {
+					for _, e := range sum.ParksUnchecked {
+						add(&out.ParksUnchecked, seenPark, e.Detail, mergeChain(sum.Name, e.Chain))
+					}
 				}
 				if sum.ChecksLDM {
 					out.ChecksLDM = true
@@ -506,7 +567,7 @@ func (s *Summarizer) diskKey(dir string) (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	for _, part := range []string{"swlint-summary", ToolVersion, s.module, s.commPkg, s.vclockPkg, s.ldmPkg, s.dmaPkg} {
+	for _, part := range []string{"swlint-summary", ToolVersion, s.module, s.commPkg, s.vclockPkg, s.ldmPkg, s.dmaPkg, s.schedPkg} {
 		h.Write([]byte(part))
 		h.Write([]byte{0})
 	}

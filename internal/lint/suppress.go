@@ -137,6 +137,23 @@ func (s *suppressions) suppressed(f Finding) bool {
 	return false
 }
 
+// counts returns the per-rule census of well-formed suppression
+// entries in the package (a multi-rule comment counts once per rule it
+// names). This is the -stats / SARIF suppression report's raw data:
+// every count is a finding someone chose to tolerate, and the census
+// makes that debt visible module-wide.
+func (s *suppressions) counts() map[string]int {
+	out := make(map[string]int)
+	for _, lines := range s.byLine {
+		for _, sups := range lines {
+			for _, sup := range sups {
+				out[sup.rule]++
+			}
+		}
+	}
+	return out
+}
+
 // report emits the machinery's own findings: every malformed comment,
 // and every well-formed suppression for a rule in scope that matched
 // nothing. Suppressions naming rules outside the run's rule set are

@@ -1,0 +1,73 @@
+// Package cfgshapes seeds the control-flow shapes the CFG builder's
+// golden tests pin: branch and merge edges, loop back edges, break and
+// continue, switch arms, defer rewiring and labeled loops.
+package cfgshapes
+
+// IfElse has a two-arm branch and a merge block.
+func IfElse(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+
+// ForBreakContinue exercises the loop head, the back edge, and break
+// and continue edges out of the body.
+func ForBreakContinue(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+// Switch exercises case-arm forks and the no-default fall-through
+// edge.
+func Switch(a int) int {
+	x := 0
+	switch {
+	case a > 0:
+		x = 1
+	case a < 0:
+		x = -1
+	}
+	return x
+}
+
+// Defer exercises the defer block: every return edge is rewired
+// through it on the way to exit.
+func Defer(release func(), bad bool) int {
+	defer release()
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// Labeled exercises labeled break and continue across two loop
+// levels.
+func Labeled(grid [][]int) int {
+	total := 0
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}

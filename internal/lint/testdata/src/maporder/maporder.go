@@ -87,3 +87,33 @@ func FieldWrite(t *tally, m map[string]int) {
 		t.total += v
 	}
 }
+
+// CondSort sorts the collected slice on only one path: the skipping
+// path escapes unsorted, a CFG fact the v3 positional check (any sort
+// textually after the loop) could not see.
+func CondSort(m map[int]int, cleanup bool) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	if cleanup {
+		sort.Ints(out)
+	}
+	return out
+}
+
+// SortBothArms sorts on every path out of the branch — the early
+// return included — which the CFG check blesses just as it blesses
+// the straight-line sort.
+func SortBothArms(m map[int]int, early bool) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	if early {
+		sort.Ints(out)
+		return out
+	}
+	sort.Ints(out)
+	return out
+}

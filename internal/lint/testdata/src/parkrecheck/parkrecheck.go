@@ -1,0 +1,89 @@
+// Package parkrecheck seeds park-recheck shapes: parks whose guard is
+// not re-checked in an enclosing loop (flagged, with the if→for
+// autofix where the rewrite is mechanical) next to the blessed
+// re-check loops. The check is a CFG fact — the park's basic block
+// must lie on a cycle — not a lexical one.
+package parkrecheck
+
+import "repro/internal/sched"
+
+type waiter struct {
+	ready bool
+}
+
+// IfGuard parks behind a plain if: one spurious wake and the task
+// proceeds with ready still false. The sole-statement if makes the
+// if→for rewrite mechanical, so the finding carries a fix.
+func (w *waiter) IfGuard(t *sched.Task) {
+	if !w.ready {
+		t.Park() // flagged, fixable: if → for
+	}
+}
+
+// parkBare parks with no re-check loop of its own: flagged here, and
+// the obligation also transfers to callers through the summary.
+func parkBare(t *sched.Task) {
+	t.Park() // flagged: bare park
+}
+
+// HelperNoLoop reaches the bare park only through the helper and does
+// not loop around the call — invisible without the summaries.
+func (w *waiter) HelperNoLoop(t *sched.Task) {
+	if !w.ready {
+		parkBare(t) // flagged: obligation via parkrecheck.parkBare
+	}
+}
+
+// LoopBreak is lexically inside a loop, but every iteration breaks:
+// there is no back edge through the park, so the guard is never
+// re-checked.
+func (w *waiter) LoopBreak(t *sched.Task) {
+	for {
+		if w.ready {
+			break
+		}
+		t.Park() // flagged: no back edge through the park
+		break
+	}
+}
+
+// ForGuard is the blessed shape: the guard is re-evaluated after every
+// wake.
+func (w *waiter) ForGuard(t *sched.Task) {
+	for !w.ready {
+		t.Park()
+	}
+}
+
+// LoopRecheck re-checks inside an unconditional loop; the park's block
+// is on the back-edge cycle.
+func (w *waiter) LoopRecheck(t *sched.Task) {
+	for {
+		if w.ready {
+			break
+		}
+		t.Park()
+	}
+}
+
+// parkLooped discharges its own obligation: the park sits in the
+// helper's re-check loop, so nothing propagates to callers.
+func parkLooped(t *sched.Task, ready func() bool) {
+	for !ready() {
+		t.Park()
+	}
+}
+
+// HelperLooped calls the self-discharging helper outside any loop;
+// the summary carries no unchecked park, so the call is clean.
+func (w *waiter) HelperLooped(t *sched.Task) {
+	parkLooped(t, func() bool { return w.ready })
+}
+
+// HelperInLoop discharges the propagated obligation with its own loop
+// around the helper call.
+func (w *waiter) HelperInLoop(t *sched.Task) {
+	for !w.ready {
+		parkBare(t)
+	}
+}

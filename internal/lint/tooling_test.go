@@ -168,7 +168,7 @@ func TestWriteSARIF(t *testing.T) {
 	f.Pos.Column = 2
 
 	var buf bytes.Buffer
-	if err := WriteSARIF(&buf, []Finding{f}, AllRules(cfg), cfg.ModuleRoot); err != nil {
+	if err := WriteSARIF(&buf, []Finding{f}, AllRules(cfg), cfg.ModuleRoot, map[string]int{"float-eq": 3, "map-order": 1}); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -182,6 +182,9 @@ func TestWriteSARIF(t *testing.T) {
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
+			Properties struct {
+				Suppressions map[string]int `json:"suppressions"`
+			} `json:"properties"`
 			Results []struct {
 				RuleID    string `json:"ruleId"`
 				Level     string `json:"level"`
@@ -222,6 +225,9 @@ func TestWriteSARIF(t *testing.T) {
 	if loc.Region.StartLine != 12 {
 		t.Errorf("startLine = %d, want 12", loc.Region.StartLine)
 	}
+	if run.Properties.Suppressions["float-eq"] != 3 || run.Properties.Suppressions["map-order"] != 1 {
+		t.Errorf("run properties suppressions = %v, want float-eq:3 map-order:1", run.Properties.Suppressions)
+	}
 }
 
 // TestCacheRoundTrip runs the parallel driver twice over the suppress
@@ -232,7 +238,8 @@ func TestCacheRoundTrip(t *testing.T) {
 	pattern := filepath.Join("internal", "lint", "testdata", "src", "suppress")
 	cacheDir := t.TempDir()
 
-	first, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir})
+	var liveStats RunStats
+	first, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir, Stats: &liveStats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,12 +251,20 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatalf("cache dir not populated (entries=%d, err=%v)", len(ents), err)
 	}
 
-	second, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir})
+	var cachedStats RunStats
+	second, err := RunWithOptions(cfg, []string{pattern}, RunOptions{CacheDir: cacheDir, Stats: &cachedStats})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Errorf("cached run differs from live run:\nlive   %v\ncached %v", first, second)
+	}
+	if len(liveStats.Suppressions) == 0 {
+		t.Error("live run reported no suppressions; the suppress fixture should have some")
+	}
+	if !reflect.DeepEqual(liveStats.Suppressions, cachedStats.Suppressions) {
+		t.Errorf("suppression census differs between live and cached runs:\nlive   %v\ncached %v",
+			liveStats.Suppressions, cachedStats.Suppressions)
 	}
 
 	uncached, err := RunWithOptions(cfg, []string{pattern}, RunOptions{})
